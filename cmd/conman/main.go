@@ -1,0 +1,148 @@
+// Command conman regenerates the tables and figures of the CONMan paper's
+// evaluation (§III) from the live reproduction.
+//
+// Usage:
+//
+//	conman table3|table4|table5|table6|fig3|fig5|fig7|fig8|fig9|paths|all
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"conman/internal/experiments"
+	"conman/internal/nm"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmds := os.Args[1:]
+	if len(cmds) == 1 && cmds[0] == "all" {
+		cmds = []string{"table3", "table4", "paths", "fig5", "fig7", "fig8", "fig9", "table5", "table6", "fig3"}
+	}
+	for _, cmd := range cmds {
+		if err := run(cmd); err != nil {
+			fmt.Fprintf(os.Stderr, "conman %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: conman <artifact>...
+artifacts:
+  table3   GRE module abstraction (Table III)
+  table4   device A module inventory (Table IV)
+  table5   generic/specific commands & state variables (Table V)
+  table6   NM message counts vs path length (Table VI)
+  fig3     GRE establishment message sequence (Fig 3)
+  fig5     potential-connectivity sub-graph of device A (Fig 5)
+  fig7     GRE VPN: today vs CONMan (Fig 7)
+  fig8     MPLS VPN: today vs CONMan (Fig 8)
+  fig9     VLAN tunnel: today vs CONMan (Fig 9)
+  paths    path enumeration between <ETH,A,a> and <ETH,C,f> (§III-C.1)
+  all      everything above`)
+}
+
+func header(s string) {
+	fmt.Printf("\n%s\n%s\n", s, strings.Repeat("=", len(s)))
+}
+
+func run(cmd string) error {
+	switch cmd {
+	case "table3":
+		header("Table III — abstraction exposed by the GRE module")
+		_, rendered, err := experiments.Table3()
+		if err != nil {
+			return err
+		}
+		fmt.Print(rendered)
+
+	case "table4":
+		header("Table IV — connectivity and switching of device A's modules")
+		out, err := experiments.Table4()
+		if err != nil {
+			return err
+		}
+		fmt.Print(out)
+
+	case "table5":
+		header("Table V — commands and state variables: today (T) vs CONMan (C)")
+		_, rendered, err := experiments.Table5()
+		if err != nil {
+			return err
+		}
+		fmt.Print(rendered)
+
+	case "table6":
+		header("Table VI — NM messages over the management channel")
+		_, rendered, err := experiments.Table6([]int{3, 4, 5, 6, 7, 8})
+		if err != nil {
+			return err
+		}
+		fmt.Print(rendered)
+		fmt.Println("formulas: GRE 3n+2 / 2n+2; MPLS and VLAN 3n-2 / 2n-1")
+
+	case "fig3":
+		header("Fig 3 — GRE-IP tunnel establishment message sequence")
+		tb, err := experiments.BuildFig4()
+		if err != nil {
+			return err
+		}
+		tb.NM.EnableMessageLog()
+		goal := experiments.Fig4Goal()
+		if _, _, err := experiments.ConfigureVPN(tb, goal, "GRE-IP tunnel"); err != nil {
+			return err
+		}
+		for _, line := range tb.NM.MessageLog() {
+			fmt.Println("  " + line)
+		}
+
+	case "fig5":
+		header("Fig 5 — potential connectivity sub-graph for device A")
+		edges, dot, err := experiments.Fig5()
+		if err != nil {
+			return err
+		}
+		for _, e := range edges {
+			fmt.Println("  " + e)
+		}
+		fmt.Println("\nGraphviz:")
+		fmt.Print(dot)
+
+	case "paths":
+		header("§III-C.1 — paths between <ETH,A,a> and <ETH,C,f>")
+		res, err := experiments.Paths9()
+		if err != nil {
+			return err
+		}
+		fmt.Print(res.Render())
+
+	case "fig7":
+		return comparison(experiments.Fig7, "Fig 7 — VPN via GRE-IP tunnel")
+	case "fig8":
+		return comparison(experiments.Fig8, "Fig 8 — VPN via MPLS LSP")
+	case "fig9":
+		return comparison(experiments.Fig9Run, "Fig 9 — VPN via VLAN tunneling")
+
+	default:
+		usage()
+		return fmt.Errorf("unknown artifact %q", cmd)
+	}
+	return nil
+}
+
+func comparison(f func() (*experiments.ConfigComparison, error), title string) error {
+	header(title)
+	cmp, err := f()
+	if err != nil {
+		return err
+	}
+	fmt.Print(cmp.Render())
+	_ = nm.Counters{}
+	return nil
+}

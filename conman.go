@@ -1,0 +1,107 @@
+// Package conman is a from-scratch Go reproduction of Ballani & Francis,
+// "CONMan: A Step towards Network Manageability" (SIGCOMM 2007): a
+// network architecture in which data-plane protocols expose a generic,
+// protocol-agnostic management interface (the module abstraction), and a
+// Network Manager configures entire networks by creating pipes and switch
+// rules while the protocol implementations themselves derive every
+// low-level parameter by talking to their peers over the management
+// channel.
+//
+// The repository contains:
+//
+//   - the CONMan model and primitives (internal/core, internal/msg)
+//   - three management-channel transports (internal/channel): in-process,
+//     real UDP sockets, and a self-bootstrapping raw-Ethernet flood
+//   - a byte-level simulated substrate (internal/netsim, internal/packet,
+//     internal/kernel): Ethernet with ARP, IPv4 policy routing, GRE
+//     tunnels, MPLS label switching, 802.1Q/QinQ bridging
+//   - protocol modules wrapping that substrate (internal/modules)
+//   - the Network Manager (internal/nm): topology discovery, potential
+//     graph, path finder with encapsulation/domain pruning, compiler to
+//     CONMan scripts, executor with message accounting
+//   - "configuration today" scripts and the Table V metric
+//     (internal/legacy)
+//   - every table and figure of the paper's evaluation
+//     (internal/experiments), regenerable via cmd/conman
+//
+// This facade re-exports the types most users need; see the examples/
+// directory for runnable scenarios.
+package conman
+
+import (
+	"conman/internal/channel"
+	"conman/internal/core"
+	"conman/internal/experiments"
+	"conman/internal/nm"
+)
+
+// Core model types.
+type (
+	// DeviceID is a globally unique device identifier.
+	DeviceID = core.DeviceID
+	// ModuleRef is the <module name, module-id, device-id> tuple.
+	ModuleRef = core.ModuleRef
+	// Abstraction is the generic module self-description (Table II).
+	Abstraction = core.Abstraction
+	// ModuleState is the showActual view of a module.
+	ModuleState = core.ModuleState
+	// PipeID identifies a pipe.
+	PipeID = core.PipeID
+	// SwitchRule directs packet switching between two pipes.
+	SwitchRule = core.SwitchRule
+	// FilterRule is an abstract filter specification.
+	FilterRule = core.FilterRule
+)
+
+// Manager types.
+type (
+	// NM is the CONMan network manager.
+	NM = nm.NM
+	// Goal is a high-level connectivity goal.
+	Goal = nm.Goal
+	// Path is a protocol-sane module-level path.
+	Path = nm.Path
+	// Graph is the potential-connectivity graph.
+	Graph = nm.Graph
+	// DeviceScript is a compiled per-device command batch.
+	DeviceScript = nm.DeviceScript
+	// Counters is the NM's Table VI message accounting.
+	Counters = nm.Counters
+)
+
+// Testbed is a fully built simulated environment (network, devices,
+// management channel, NM).
+type Testbed = experiments.Testbed
+
+// NewNM creates a network manager.
+func NewNM() *NM { return nm.New() }
+
+// NewHub creates an in-process management channel.
+func NewHub() *channel.Hub { return channel.NewHub() }
+
+// BuildGraph constructs the NM's potential-connectivity graph from
+// discovered topology and abstractions.
+func BuildGraph(n *NM) (*Graph, error) { return nm.BuildGraph(n) }
+
+// SelectPath applies the paper's path selector (minimise pipes, prefer
+// fast forwarding).
+func SelectPath(paths []*Path) *Path { return nm.SelectPath(paths) }
+
+// BuildFig4 constructs the paper's Fig 4 VPN testbed.
+func BuildFig4() (*Testbed, error) { return experiments.BuildFig4() }
+
+// BuildFig9 constructs the paper's Fig 9 switched (VLAN) testbed.
+func BuildFig9() (*Testbed, error) { return experiments.BuildFig9() }
+
+// Fig4Goal returns the §III-C site-to-site connectivity goal.
+func Fig4Goal() Goal { return experiments.Fig4Goal() }
+
+// Fig9Goal returns the VLAN tunnel goal.
+func Fig9Goal() Goal { return experiments.Fig9Goal() }
+
+// ConfigureVPN finds, compiles and executes a path for the goal; prefer
+// selects a specific path flavour by description ("MPLS", "GRE-IP
+// tunnel", "VLAN tunnel") or "" for the automatic selector.
+func ConfigureVPN(tb *Testbed, goal Goal, prefer string) (*Path, []DeviceScript, error) {
+	return experiments.ConfigureVPN(tb, goal, prefer)
+}

@@ -1,0 +1,158 @@
+package channel
+
+import (
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"conman/internal/core"
+	"conman/internal/msg"
+	"conman/internal/packet"
+)
+
+// floodTTL bounds how many hops a management frame travels.
+const floodTTL = 32
+
+// floodFrame is the wire wrapper around an envelope.
+type floodFrame struct {
+	Origin core.DeviceID `json:"o"`
+	Seq    uint64        `json:"s"`
+	TTL    int           `json:"t"`
+	Env    msg.Envelope  `json:"e"`
+}
+
+// FloodNode is a device's attachment to the self-bootstrapping management
+// channel: management frames are flooded over the device's physical ports
+// with duplicate suppression, so no addressing or spanning tree needs to
+// be configured first (paper §III-A, after 4D). One node can host several
+// named endpoints (a device's MA, and on the NM's device also the NM).
+type FloodNode struct {
+	device core.DeviceID
+	send   func(port string, frame []byte) error
+	ports  func() []string
+
+	mu        sync.Mutex
+	seq       uint64
+	handlers  map[string]Handler
+	seen      map[string]bool
+	seenOrder []string
+}
+
+// NewFloodNode creates a node for a device. send transmits raw frames out
+// of a named port; ports enumerates the device's physical ports.
+func NewFloodNode(device core.DeviceID, send func(port string, frame []byte) error, ports func() []string) *FloodNode {
+	return &FloodNode{
+		device:   device,
+		send:     send,
+		ports:    ports,
+		handlers: make(map[string]Handler),
+		seen:     make(map[string]bool),
+	}
+}
+
+// HandleMgmtFrame is registered with the device kernel for
+// packet.EtherTypeMgmt frames.
+func (n *FloodNode) HandleMgmtFrame(port string, _ packet.Ethernet, payload []byte) {
+	var f floodFrame
+	if err := json.Unmarshal(payload, &f); err != nil {
+		return
+	}
+	key := fmt.Sprintf("%s/%d", f.Origin, f.Seq)
+	n.mu.Lock()
+	if n.seen[key] {
+		n.mu.Unlock()
+		return
+	}
+	n.remember(key)
+	h := n.handlers[f.Env.To]
+	n.mu.Unlock()
+
+	if h != nil {
+		h(f.Env)
+		return
+	}
+	// Not for us: keep flooding.
+	if f.TTL <= 1 {
+		return
+	}
+	f.TTL--
+	n.emit(f, port)
+}
+
+// remember records a frame key with a bounded history. Caller holds n.mu.
+func (n *FloodNode) remember(key string) {
+	n.seen[key] = true
+	n.seenOrder = append(n.seenOrder, key)
+	if len(n.seenOrder) > 8192 {
+		old := n.seenOrder[:4096]
+		n.seenOrder = append([]string(nil), n.seenOrder[4096:]...)
+		for _, k := range old {
+			delete(n.seen, k)
+		}
+	}
+}
+
+func (n *FloodNode) emit(f floodFrame, exceptPort string) {
+	data, err := json.Marshal(f)
+	if err != nil {
+		return
+	}
+	frame, err := packet.Serialize(data, packet.Ethernet{
+		Dst:  packet.BroadcastMAC,
+		Type: packet.EtherTypeMgmt,
+	})
+	if err != nil {
+		return
+	}
+	for _, p := range n.ports() {
+		if p == exceptPort {
+			continue
+		}
+		_ = n.send(p, frame)
+	}
+}
+
+// Endpoint attaches a named endpoint to the node.
+func (n *FloodNode) Endpoint(name string) Endpoint {
+	return &floodEndpoint{node: n, name: name}
+}
+
+type floodEndpoint struct {
+	node *FloodNode
+	name string
+}
+
+func (e *floodEndpoint) Name() string { return e.name }
+
+func (e *floodEndpoint) SetHandler(h Handler) {
+	e.node.mu.Lock()
+	defer e.node.mu.Unlock()
+	e.node.handlers[e.name] = h
+}
+
+func (e *floodEndpoint) Send(env msg.Envelope) error {
+	n := e.node
+	n.mu.Lock()
+	n.seq++
+	f := floodFrame{Origin: n.device, Seq: n.seq, TTL: floodTTL, Env: env}
+	key := fmt.Sprintf("%s/%d", f.Origin, f.Seq)
+	n.remember(key) // don't process our own flood when it loops back
+	local := n.handlers[env.To]
+	n.mu.Unlock()
+
+	if local != nil {
+		// Destination is hosted on this very device (e.g. the NM talking
+		// to its own MA): deliver directly.
+		local(env)
+		return nil
+	}
+	n.emit(f, "")
+	return nil
+}
+
+func (e *floodEndpoint) Close() error {
+	e.node.mu.Lock()
+	defer e.node.mu.Unlock()
+	delete(e.node.handlers, e.name)
+	return nil
+}

@@ -1,0 +1,121 @@
+package channel
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"conman/internal/msg"
+)
+
+// UDPNetwork is the pre-configured management network of the paper's
+// testbed (§III-A): every MA and the NM bind a real UDP socket on
+// loopback, and a shared registry (standing in for the separate
+// management-NIC addressing plan) maps channel names to socket addresses.
+type UDPNetwork struct {
+	mu    sync.Mutex
+	addrs map[string]*net.UDPAddr
+}
+
+// NewUDPNetwork creates an empty registry.
+func NewUDPNetwork() *UDPNetwork {
+	return &UDPNetwork{addrs: make(map[string]*net.UDPAddr)}
+}
+
+// udpEndpoint is one bound socket.
+type udpEndpoint struct {
+	net  *UDPNetwork
+	name string
+	conn *net.UDPConn
+
+	mu      sync.Mutex
+	handler Handler
+
+	wg     sync.WaitGroup
+	closed chan struct{}
+}
+
+// Endpoint binds a loopback UDP socket for name and registers it.
+func (n *UDPNetwork) Endpoint(name string) (Endpoint, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("channel: bind udp: %w", err)
+	}
+	n.mu.Lock()
+	n.addrs[name] = conn.LocalAddr().(*net.UDPAddr)
+	n.mu.Unlock()
+
+	e := &udpEndpoint{net: n, name: name, conn: conn, closed: make(chan struct{})}
+	e.wg.Add(1)
+	go e.readLoop()
+	return e, nil
+}
+
+func (e *udpEndpoint) Name() string { return e.name }
+
+func (e *udpEndpoint) SetHandler(h Handler) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.handler = h
+}
+
+func (e *udpEndpoint) Send(env msg.Envelope) error {
+	e.net.mu.Lock()
+	addr, ok := e.net.addrs[env.To]
+	e.net.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownDestination, env.To)
+	}
+	data, err := env.Marshal()
+	if err != nil {
+		return err
+	}
+	if len(data) > 60000 {
+		return fmt.Errorf("channel: envelope too large for UDP (%d bytes)", len(data))
+	}
+	_, err = e.conn.WriteToUDP(data, addr)
+	return err
+}
+
+func (e *udpEndpoint) readLoop() {
+	defer e.wg.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, _, err := e.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-e.closed:
+				return
+			default:
+			}
+			if errors.Is(err, net.ErrClosed) {
+				return
+			}
+			continue
+		}
+		env, err := msg.Unmarshal(buf[:n])
+		if err != nil {
+			continue
+		}
+		e.mu.Lock()
+		h := e.handler
+		e.mu.Unlock()
+		if h != nil {
+			// Dispatch on a fresh goroutine: handlers may issue nested
+			// blocking request/response calls (listFieldsAndValues
+			// relays), which must not stall the read loop.
+			go h(env)
+		}
+	}
+}
+
+func (e *udpEndpoint) Close() error {
+	close(e.closed)
+	err := e.conn.Close()
+	e.net.mu.Lock()
+	delete(e.net.addrs, e.name)
+	e.net.mu.Unlock()
+	e.wg.Wait()
+	return err
+}

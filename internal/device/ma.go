@@ -1,0 +1,659 @@
+package device
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"conman/internal/channel"
+	"conman/internal/core"
+	"conman/internal/kernel"
+	"conman/internal/msg"
+)
+
+// trigger is one installed dependency-maintenance trigger (§II-E).
+type trigger struct {
+	ID        string
+	Module    core.ModuleRef
+	Component string
+}
+
+type pendingRule struct {
+	module Module
+	inst   *SwitchRuleInstance
+}
+
+// MA is a device's management agent: it owns the module registry and pipe
+// table, serves the NM's primitives, and relays module messages.
+type MA struct {
+	dev      core.DeviceID
+	kern     *kernel.Kernel
+	portInfo func() []msg.PortReport
+
+	mu       sync.Mutex
+	ep       channel.Endpoint
+	modules  map[core.ModuleID]Module
+	order    []core.ModuleID
+	pipes    map[core.PipeID]*Pipe
+	pipeSeq  int
+	ruleSeq  int
+	pending  []pendingRule
+	failed   []string
+	reqSeq   uint64
+	waiters  map[uint64]chan msg.Envelope
+	triggers []trigger
+	trigSeq  int
+
+	// QueryTimeout bounds blocking listFieldsAndValues calls.
+	QueryTimeout time.Duration
+}
+
+// NewMA creates a management agent.
+func NewMA(dev core.DeviceID, kern *kernel.Kernel, portInfo func() []msg.PortReport) *MA {
+	return &MA{
+		dev:          dev,
+		kern:         kern,
+		portInfo:     portInfo,
+		modules:      make(map[core.ModuleID]Module),
+		pipes:        make(map[core.PipeID]*Pipe),
+		waiters:      make(map[uint64]chan msg.Envelope),
+		QueryTimeout: 5 * time.Second,
+	}
+}
+
+// Device implements Services.
+func (a *MA) Device() core.DeviceID { return a.dev }
+
+// Kernel implements Services.
+func (a *MA) Kernel() *kernel.Kernel { return a.kern }
+
+// Register adds a module to the device.
+func (a *MA) Register(m Module) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	id := m.Ref().Module
+	if _, dup := a.modules[id]; !dup {
+		a.order = append(a.order, id)
+	}
+	a.modules[id] = m
+}
+
+// RegisterPhysicalPipe records a physical pipe owned by an (ETH) module.
+func (a *MA) RegisterPhysicalPipe(p *Pipe) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pipes[p.ID] = p
+}
+
+// AttachChannel connects the MA to the management channel.
+func (a *MA) AttachChannel(ep channel.Endpoint) {
+	a.mu.Lock()
+	a.ep = ep
+	a.mu.Unlock()
+	ep.SetHandler(a.handle)
+}
+
+// Start announces the device and its physical connectivity to the NM.
+func (a *MA) Start() error {
+	if err := a.send(msg.MustNew(msg.TypeHello, string(a.dev), msg.NMName, 0, msg.Hello{Device: a.dev})); err != nil {
+		return err
+	}
+	return a.ReportTopology()
+}
+
+// ReportTopology (re-)sends the physical connectivity report.
+func (a *MA) ReportTopology() error {
+	top := msg.Topology{Device: a.dev, Ports: a.portInfo()}
+	return a.send(msg.MustNew(msg.TypeTopology, string(a.dev), msg.NMName, 0, top))
+}
+
+func (a *MA) send(env msg.Envelope) error {
+	a.mu.Lock()
+	ep := a.ep
+	a.mu.Unlock()
+	if ep == nil {
+		return fmt.Errorf("device[%s]: no management channel attached", a.dev)
+	}
+	return ep.Send(env)
+}
+
+// Modules returns the registered modules in registration order.
+func (a *MA) Modules() []Module {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]Module, 0, len(a.order))
+	for _, id := range a.order {
+		out = append(out, a.modules[id])
+	}
+	return out
+}
+
+// LocalModule implements Services.
+func (a *MA) LocalModule(id core.ModuleID) (Module, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	m, ok := a.modules[id]
+	return m, ok
+}
+
+// PipeByID implements Services.
+func (a *MA) PipeByID(id core.PipeID) (*Pipe, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, ok := a.pipes[id]
+	return p, ok
+}
+
+// Pipes returns all pipes sorted by id.
+func (a *MA) Pipes() []*Pipe {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]*Pipe, 0, len(a.pipes))
+	for _, p := range a.pipes {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// PendingRules reports how many switch rules are still waiting on
+// unresolved parameters.
+func (a *MA) PendingRules() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.pending)
+}
+
+// FailedRules returns terminal rule failures.
+func (a *MA) FailedRules() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]string(nil), a.failed...)
+}
+
+// LocalFields implements Services: intra-device field resolution.
+func (a *MA) LocalFields(target core.ModuleID, component string) (map[string]string, error) {
+	m, ok := a.LocalModule(target)
+	if !ok {
+		return nil, fmt.Errorf("device[%s]: no module %q", a.dev, target)
+	}
+	return m.ListFields(component)
+}
+
+// Convey implements Services: module-to-module message via the NM.
+func (a *MA) Convey(from, to core.ModuleRef, kind string, body any) error {
+	b, err := msg.New(msg.TypeConvey, string(a.dev), msg.NMName, 0, nil)
+	if err != nil {
+		return err
+	}
+	_ = b
+	inner, err := jsonBody(body)
+	if err != nil {
+		return err
+	}
+	env, err := msg.New(msg.TypeConvey, string(a.dev), msg.NMName, 0, msg.Convey{
+		FromModule: from, ToModule: to, Kind: kind, Body: inner,
+	})
+	if err != nil {
+		return err
+	}
+	return a.send(env)
+}
+
+// Notify implements Services.
+func (a *MA) Notify(module core.ModuleRef, kind, detail string) error {
+	return a.send(msg.MustNew(msg.TypeNotify, string(a.dev), msg.NMName, 0,
+		msg.Notify{Module: module, Kind: kind, Detail: detail}))
+}
+
+// QueryFields implements Services: remote listFieldsAndValues via the NM.
+func (a *MA) QueryFields(requester, target core.ModuleRef, component string) (map[string]string, error) {
+	a.mu.Lock()
+	a.reqSeq++
+	id := a.reqSeq
+	ch := make(chan msg.Envelope, 1)
+	a.waiters[id] = ch
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.waiters, id)
+		a.mu.Unlock()
+	}()
+
+	env := msg.MustNew(msg.TypeListFieldsReq, string(a.dev), msg.NMName, id, msg.ListFieldsReq{
+		Requester: requester, Target: target, Component: component,
+	})
+	if err := a.send(env); err != nil {
+		return nil, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Type == msg.TypeError {
+			var e msg.Error
+			_ = resp.Decode(&e)
+			return nil, fmt.Errorf("device[%s]: listFieldsAndValues(%s): %s", a.dev, target, e.Message)
+		}
+		var body msg.ListFieldsResp
+		if err := resp.Decode(&body); err != nil {
+			return nil, err
+		}
+		return body.Fields, nil
+	case <-time.After(a.QueryTimeout):
+		return nil, fmt.Errorf("device[%s]: listFieldsAndValues(%s): timeout", a.dev, target)
+	}
+}
+
+// FieldsChanged implements Services: fire matching triggers.
+func (a *MA) FieldsChanged(module core.ModuleRef, component string, fields map[string]string) {
+	a.mu.Lock()
+	var fire []trigger
+	for _, t := range a.triggers {
+		if t.Module.Module == module.Module && (t.Component == component || t.Component == "*") {
+			fire = append(fire, t)
+		}
+	}
+	a.mu.Unlock()
+	for range fire {
+		_ = a.send(msg.MustNew(msg.TypeTrigger, string(a.dev), msg.NMName, 0,
+			msg.Trigger{Module: module, Component: component, Fields: fields}))
+	}
+	a.Kick()
+}
+
+// Kick implements Services: retry pending switch rules.
+func (a *MA) Kick() { a.retryPending() }
+
+func (a *MA) retryPending() {
+	for {
+		a.mu.Lock()
+		pend := a.pending
+		a.pending = nil
+		a.mu.Unlock()
+		if len(pend) == 0 {
+			return
+		}
+		progressed := false
+		var still []pendingRule
+		for _, pr := range pend {
+			err := pr.module.InstallSwitchRule(pr.inst)
+			switch {
+			case err == nil:
+				progressed = true
+			case err == ErrPending:
+				still = append(still, pr)
+			default:
+				progressed = true
+				a.mu.Lock()
+				a.failed = append(a.failed, fmt.Sprintf("%s: %v", pr.inst.ID, err))
+				a.mu.Unlock()
+			}
+		}
+		a.mu.Lock()
+		a.pending = append(still, a.pending...)
+		a.mu.Unlock()
+		if !progressed {
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Channel handler
+
+func (a *MA) handle(env msg.Envelope) {
+	switch env.Type {
+	case msg.TypeShowPotentialReq:
+		mods := a.Modules()
+		abs := make([]core.Abstraction, 0, len(mods))
+		for _, m := range mods {
+			abs = append(abs, m.Abstraction())
+		}
+		a.reply(env, msg.TypeShowPotentialResp, msg.ShowPotentialResp{Modules: abs})
+
+	case msg.TypeShowActualReq:
+		mods := a.Modules()
+		states := make([]core.ModuleState, 0, len(mods))
+		for _, m := range mods {
+			states = append(states, m.Actual())
+		}
+		a.reply(env, msg.TypeShowActualResp, msg.ShowActualResp{Modules: states})
+
+	case msg.TypeCommandBatchReq:
+		var batch msg.CommandBatchReq
+		if err := env.Decode(&batch); err != nil {
+			a.replyErr(env, "bad batch: %v", err)
+			return
+		}
+		resp := msg.CommandBatchResp{Errors: make([]string, len(batch.Items))}
+		for i, item := range batch.Items {
+			if err := a.execItem(item); err != nil {
+				resp.Errors[i] = err.Error()
+			}
+			a.retryPending()
+		}
+		a.reply(env, msg.TypeCommandBatchResp, resp)
+
+	case msg.TypeCreatePipeReq:
+		var body msg.CreatePipeReq
+		if err := env.Decode(&body); err != nil {
+			a.replyErr(env, "bad create.pipe: %v", err)
+			return
+		}
+		id, err := a.createPipe("", body.Req)
+		if err != nil {
+			a.replyErr(env, "%v", err)
+			return
+		}
+		a.retryPending()
+		a.reply(env, msg.TypeCreatePipeResp, msg.CreatePipeResp{Pipe: id})
+
+	case msg.TypeCreateSwitchReq:
+		var body msg.CreateSwitchReq
+		if err := env.Decode(&body); err != nil {
+			a.replyErr(env, "bad create.switch: %v", err)
+			return
+		}
+		id, err := a.createSwitch(body)
+		if err != nil {
+			a.replyErr(env, "%v", err)
+			return
+		}
+		a.retryPending()
+		a.reply(env, msg.TypeCreateSwitchResp, msg.CreateSwitchResp{RuleID: id})
+
+	case msg.TypeCreateFilterReq:
+		var body msg.CreateFilterReq
+		if err := env.Decode(&body); err != nil {
+			a.replyErr(env, "bad create.filter: %v", err)
+			return
+		}
+		id, err := a.createFilter(body)
+		if err != nil {
+			a.replyErr(env, "%v", err)
+			return
+		}
+		a.reply(env, msg.TypeCreateFilterResp, msg.CreateFilterResp{RuleID: id})
+
+	case msg.TypeDeleteReq:
+		var body msg.DeleteReq
+		if err := env.Decode(&body); err != nil {
+			a.replyErr(env, "bad delete: %v", err)
+			return
+		}
+		if err := a.deleteComponent(body.Req); err != nil {
+			a.replyErr(env, "%v", err)
+			return
+		}
+		a.reply(env, msg.TypeDeleteResp, msg.DeleteResp{})
+
+	case msg.TypeConvey:
+		var body msg.Convey
+		if err := env.Decode(&body); err != nil {
+			return
+		}
+		m, ok := a.LocalModule(body.ToModule.Module)
+		if !ok {
+			return
+		}
+		_ = m.HandleConvey(body.FromModule, body.Kind, body.Body)
+		a.retryPending()
+
+	case msg.TypeListFieldsReq:
+		var body msg.ListFieldsReq
+		if err := env.Decode(&body); err != nil {
+			a.replyErr(env, "bad listFields: %v", err)
+			return
+		}
+		m, ok := a.LocalModule(body.Target.Module)
+		if !ok {
+			a.replyErr(env, "no module %q", body.Target.Module)
+			return
+		}
+		fields, err := m.ListFields(body.Component)
+		if err != nil {
+			a.replyErr(env, "%v", err)
+			return
+		}
+		a.reply(env, msg.TypeListFieldsResp, msg.ListFieldsResp{
+			Target: body.Target, Component: body.Component, Fields: fields,
+		})
+
+	case msg.TypeListFieldsResp, msg.TypeError:
+		a.mu.Lock()
+		ch, ok := a.waiters[env.ID]
+		a.mu.Unlock()
+		if ok {
+			select {
+			case ch <- env:
+			default:
+			}
+		}
+
+	case msg.TypeInstallTriggerReq:
+		var body msg.InstallTriggerReq
+		if err := env.Decode(&body); err != nil {
+			a.replyErr(env, "bad installTrigger: %v", err)
+			return
+		}
+		a.mu.Lock()
+		a.trigSeq++
+		id := fmt.Sprintf("%s-t%d", a.dev, a.trigSeq)
+		a.triggers = append(a.triggers, trigger{ID: id, Module: body.Module, Component: body.Component})
+		a.mu.Unlock()
+		a.reply(env, msg.TypeInstallTriggerResp, msg.InstallTriggerResp{TriggerID: id})
+
+	case msg.TypeSelfTestReq:
+		var body msg.SelfTestReq
+		if err := env.Decode(&body); err != nil {
+			a.replyErr(env, "bad selfTest: %v", err)
+			return
+		}
+		m, ok := a.LocalModule(body.Module.Module)
+		if !ok {
+			a.replyErr(env, "no module %q", body.Module.Module)
+			return
+		}
+		ok2, detail := m.SelfTest(body.Pipe)
+		a.reply(env, msg.TypeSelfTestResp, msg.SelfTestResp{OK: ok2, Detail: detail})
+	}
+}
+
+func (a *MA) reply(req msg.Envelope, t msg.Type, body any) {
+	env, err := msg.New(t, string(a.dev), req.From, req.ID, body)
+	if err != nil {
+		return
+	}
+	_ = a.send(env)
+}
+
+func (a *MA) replyErr(req msg.Envelope, format string, args ...any) {
+	_ = a.send(msg.Errorf(req, string(a.dev), format, args...))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive execution
+
+func (a *MA) execItem(item msg.CommandItem) error {
+	switch {
+	case item.Pipe != nil:
+		_, err := a.createPipe(item.Pipe.ID, item.Pipe.Req)
+		return err
+	case item.Switch != nil:
+		_, err := a.createSwitch(*item.Switch)
+		return err
+	case item.Filter != nil:
+		_, err := a.createFilter(*item.Filter)
+		return err
+	case item.Delete != nil:
+		return a.deleteComponent(item.Delete.Req)
+	}
+	return fmt.Errorf("device[%s]: empty command item", a.dev)
+}
+
+func (a *MA) createPipe(id core.PipeID, req core.PipeRequest) (core.PipeID, error) {
+	upper, ok := a.LocalModule(req.Upper.Module)
+	if !ok {
+		return "", fmt.Errorf("device[%s]: no module %s", a.dev, req.Upper)
+	}
+	lower, ok := a.LocalModule(req.Lower.Module)
+	if !ok {
+		return "", fmt.Errorf("device[%s]: no module %s", a.dev, req.Lower)
+	}
+	upAbs, downAbs := upper.Abstraction(), lower.Abstraction()
+	if !upAbs.Down.CanConnect(downAbs.Ref.Name) {
+		return "", fmt.Errorf("device[%s]: %s cannot have a down pipe to %s", a.dev, req.Upper, req.Lower)
+	}
+	if !downAbs.Up.CanConnect(upAbs.Ref.Name) {
+		return "", fmt.Errorf("device[%s]: %s cannot have an up pipe to %s", a.dev, req.Lower, req.Upper)
+	}
+	// Every declared dependency for this pipe must be satisfied.
+	deps := append(append([]core.Dependency(nil), upAbs.Down.Dependencies...), downAbs.Up.Dependencies...)
+	for _, d := range deps {
+		if !dependencySatisfied(d, req.Satisfy) {
+			return "", fmt.Errorf("device[%s]: dependency %q of pipe %s/%s not satisfied",
+				a.dev, d.Description, req.Upper, req.Lower)
+		}
+	}
+
+	a.mu.Lock()
+	if id == "" {
+		id = core.PipeID(fmt.Sprintf("P%d", a.pipeSeq))
+		a.pipeSeq++
+	}
+	if _, dup := a.pipes[id]; dup {
+		a.mu.Unlock()
+		return "", fmt.Errorf("device[%s]: pipe %s already exists", a.dev, id)
+	}
+	p := &Pipe{
+		ID: id, Upper: req.Upper, Lower: req.Lower,
+		UpperPeer: req.UpperPeer, LowerPeer: req.LowerPeer,
+		Satisfy: req.Satisfy, Status: core.PipeUp,
+	}
+	a.pipes[id] = p
+	a.mu.Unlock()
+
+	// Attach the lower module first: the upper module's attachment logic
+	// may immediately query the lower end (e.g. MPLS asking the ETH below
+	// for its interface to include a link address in its label exchange).
+	if err := lower.PipeAttached(p, SideLower); err != nil {
+		a.mu.Lock()
+		delete(a.pipes, id)
+		a.mu.Unlock()
+		return "", err
+	}
+	if err := upper.PipeAttached(p, SideUpper); err != nil {
+		_ = lower.PipeDeleted(p, SideLower)
+		a.mu.Lock()
+		delete(a.pipes, id)
+		a.mu.Unlock()
+		return "", err
+	}
+	return id, nil
+}
+
+func dependencySatisfied(d core.Dependency, choices []core.DependencyChoice) bool {
+	for _, c := range choices {
+		if d.Token != "" && c.Token == d.Token {
+			return true
+		}
+		if d.Kind == core.DepTradeoff && c.Tradeoff != "" {
+			return true
+		}
+		if d.Kind == core.DepExternalState && (c.Value != "" || c.Provider != "") {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *MA) createSwitch(body msg.CreateSwitchReq) (string, error) {
+	m, ok := a.LocalModule(body.Rule.Module.Module)
+	if !ok {
+		return "", fmt.Errorf("device[%s]: no module %s", a.dev, body.Rule.Module)
+	}
+	if _, ok := a.PipeByID(body.Rule.From); !ok {
+		return "", fmt.Errorf("device[%s]: switch rule references unknown pipe %s", a.dev, body.Rule.From)
+	}
+	if _, ok := a.PipeByID(body.Rule.To); !ok {
+		return "", fmt.Errorf("device[%s]: switch rule references unknown pipe %s", a.dev, body.Rule.To)
+	}
+	a.mu.Lock()
+	a.ruleSeq++
+	inst := &SwitchRuleInstance{
+		ID:            fmt.Sprintf("%s-sw%d", a.dev, a.ruleSeq),
+		Rule:          body.Rule,
+		MatchResolved: body.MatchResolved,
+		ViaResolved:   body.ViaResolved,
+	}
+	a.mu.Unlock()
+
+	err := m.InstallSwitchRule(inst)
+	if err == ErrPending {
+		a.mu.Lock()
+		a.pending = append(a.pending, pendingRule{module: m, inst: inst})
+		a.mu.Unlock()
+		return inst.ID, nil
+	}
+	if err != nil {
+		return "", err
+	}
+	return inst.ID, nil
+}
+
+func (a *MA) createFilter(body msg.CreateFilterReq) (string, error) {
+	m, ok := a.LocalModule(body.Rule.Module.Module)
+	if !ok {
+		return "", fmt.Errorf("device[%s]: no module %s", a.dev, body.Rule.Module)
+	}
+	a.mu.Lock()
+	a.ruleSeq++
+	inst := &FilterRuleInstance{
+		ID:   fmt.Sprintf("%s-f%d", a.dev, a.ruleSeq),
+		Rule: body.Rule,
+	}
+	a.mu.Unlock()
+	if err := m.InstallFilterRule(inst); err != nil {
+		return "", err
+	}
+	return inst.ID, nil
+}
+
+func (a *MA) deleteComponent(req core.DeleteRequest) error {
+	m, ok := a.LocalModule(req.Module.Module)
+	if !ok {
+		return fmt.Errorf("device[%s]: no module %s", a.dev, req.Module)
+	}
+	switch req.Kind {
+	case core.ComponentPipe:
+		a.mu.Lock()
+		p, ok := a.pipes[core.PipeID(req.ID)]
+		if ok && !p.Physical {
+			delete(a.pipes, core.PipeID(req.ID))
+		}
+		a.mu.Unlock()
+		if !ok {
+			return fmt.Errorf("device[%s]: no pipe %s", a.dev, req.ID)
+		}
+		if p.Physical {
+			return fmt.Errorf("device[%s]: physical pipe %s cannot be deleted, only disabled", a.dev, req.ID)
+		}
+		upper, uok := a.LocalModule(p.Upper.Module)
+		lower, lok := a.LocalModule(p.Lower.Module)
+		if uok {
+			_ = upper.PipeDeleted(p, SideUpper)
+		}
+		if lok {
+			_ = lower.PipeDeleted(p, SideLower)
+		}
+		return nil
+	case core.ComponentSwitchRule, core.ComponentFilterRule:
+		// Modules own rule teardown.
+		type ruleDeleter interface{ DeleteRule(id string) error }
+		if rd, ok := m.(ruleDeleter); ok {
+			return rd.DeleteRule(req.ID)
+		}
+		return ErrUnsupported
+	}
+	return fmt.Errorf("device[%s]: delete of %s unsupported", a.dev, req.Kind)
+}

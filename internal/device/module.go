@@ -1,0 +1,232 @@
+// Package device implements CONMan devices: the per-device management
+// agent (MA) that registers protocol modules, serves the NM's primitives
+// over the management channel, relays module-to-module messages through
+// the NM, and bridges modules to the simulated kernel and physical
+// network (paper §II).
+package device
+
+import (
+	"errors"
+
+	"conman/internal/core"
+	"conman/internal/kernel"
+)
+
+// PipeSide says which end of a pipe a module is: the module above
+// (for which the pipe is a down pipe) or the module below (up pipe).
+type PipeSide uint8
+
+const (
+	SideUpper PipeSide = iota
+	SideLower
+)
+
+func (s PipeSide) String() string {
+	if s == SideUpper {
+		return "upper"
+	}
+	return "lower"
+}
+
+// Pipe is one configured up-down pipe between two modules of this device,
+// or a physical pipe owned by an ETH module.
+type Pipe struct {
+	ID        core.PipeID
+	Upper     core.ModuleRef
+	Lower     core.ModuleRef
+	UpperPeer core.ModuleRef // remote peer of the upper module, if known
+	LowerPeer core.ModuleRef
+	Satisfy   []core.DependencyChoice
+	Status    core.PipeStatus
+
+	Physical bool
+	Iface    string // kernel interface for physical pipes
+	External bool   // leads outside the managed domain
+}
+
+// TradeoffChosen reports whether the NM's dependency choices for this pipe
+// selected a trade-off obtaining the given metric.
+func (p *Pipe) TradeoffChosen(get core.Metric) bool {
+	for _, c := range p.Satisfy {
+		if c.Tradeoff == "" {
+			continue
+		}
+		for _, t := range parseTradeoffGets(c.Tradeoff) {
+			if t == get {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parseTradeoffGets extracts the "get" metrics from a Tradeoff.Key().
+func parseTradeoffGets(key string) []core.Metric {
+	// Key format: "give1, give2|get1, get2|scope".
+	var gets []core.Metric
+	parts := splitKey(key)
+	if len(parts) != 3 {
+		return nil
+	}
+	for _, name := range splitList(parts[1]) {
+		if m, err := core.ParseMetric(name); err == nil {
+			gets = append(gets, m)
+		}
+	}
+	return gets
+}
+
+func splitKey(s string) []string {
+	var parts []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '|' {
+			parts = append(parts, s[start:i])
+			start = i + 1
+		}
+	}
+	parts = append(parts, s[start:])
+	return parts
+}
+
+func splitList(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i == len(s) || s[i] == ',' {
+			item := trimSpace(s[start:i])
+			if item != "" {
+				out = append(out, item)
+			}
+			start = i + 1
+		}
+	}
+	return out
+}
+
+func trimSpace(s string) string {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	for len(s) > 0 && (s[len(s)-1] == ' ' || s[len(s)-1] == '\t') {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// SwitchRuleInstance is an installed (or installing) switch rule with the
+// NM's resolutions of abstract tokens.
+type SwitchRuleInstance struct {
+	ID            string
+	Rule          core.SwitchRule
+	MatchResolved string // e.g. "10.0.2.0/24" for dst-domain:C1-S2
+	ViaResolved   string // e.g. "192.168.0.1" for S1-gateway
+}
+
+// FilterRuleInstance is an installed abstract filter rule.
+type FilterRuleInstance struct {
+	ID             string
+	Rule           core.FilterRule
+	ResolvedFields map[string]string
+	KernelID       string
+}
+
+// ErrPending is returned by module operations that cannot complete yet
+// (e.g. a switch rule needing parameters another module has not derived);
+// the MA retries them as state settles (paper §III-B's "the parameters for
+// this command already having been determined" ordering).
+var ErrPending = errors.New("device: operation pending on unresolved parameters")
+
+// ErrUnsupported is returned for operations a module does not implement.
+var ErrUnsupported = errors.New("device: operation unsupported by module")
+
+// Module is the interface every protocol module implements toward its MA.
+// It is deliberately protocol-agnostic: everything protocol-specific stays
+// inside the implementation (the whole point of CONMan).
+type Module interface {
+	// Ref returns the module's <name, module-id, device-id> tuple.
+	Ref() core.ModuleRef
+	// Abstraction self-describes the module (Table II).
+	Abstraction() core.Abstraction
+	// Actual reports current state (showActual).
+	Actual() core.ModuleState
+	// PipeAttached notifies the module of a new pipe at the given side.
+	PipeAttached(p *Pipe, side PipeSide) error
+	// PipeDeleted notifies the module that a pipe was removed.
+	PipeDeleted(p *Pipe, side PipeSide) error
+	// InstallSwitchRule directs packet switching between two pipes.
+	// Returning ErrPending defers the rule until dependencies resolve.
+	InstallSwitchRule(r *SwitchRuleInstance) error
+	// InstallFilterRule installs an abstract filter (§II-E).
+	InstallFilterRule(r *FilterRuleInstance) error
+	// HandleConvey processes a message from a (remote) peer module.
+	HandleConvey(from core.ModuleRef, kind string, body []byte) error
+	// ListFields resolves an abstract component to low-level fields
+	// (§II-E). Component is a pipe id or "self".
+	ListFields(component string) (map[string]string, error)
+	// SelfTest probes data-plane connectivity to the module's peer on
+	// the given pipe (§II-D.2).
+	SelfTest(pipe core.PipeID) (bool, string)
+}
+
+// Services is what the MA offers to its modules.
+type Services interface {
+	// Device returns the owning device id.
+	Device() core.DeviceID
+	// Kernel returns the device's kernel.
+	Kernel() *kernel.Kernel
+	// Convey sends a message to a remote module through the NM
+	// (conveyMessage, §II-D.1.d).
+	Convey(from, to core.ModuleRef, kind string, body any) error
+	// QueryFields performs listFieldsAndValues on a remote module via
+	// the NM and waits for the answer.
+	QueryFields(requester, target core.ModuleRef, component string) (map[string]string, error)
+	// LocalFields queries a module on this same device directly.
+	LocalFields(target core.ModuleID, component string) (map[string]string, error)
+	// LocalModule fetches a co-located module.
+	LocalModule(id core.ModuleID) (Module, bool)
+	// PipeByID fetches a pipe of this device.
+	PipeByID(id core.PipeID) (*Pipe, bool)
+	// Notify sends an unsolicited event to the NM.
+	Notify(module core.ModuleRef, kind, detail string) error
+	// FieldsChanged reports that a component's low-level values changed,
+	// firing any installed triggers (dependency maintenance, §II-E).
+	FieldsChanged(module core.ModuleRef, component string, fields map[string]string)
+	// Kick schedules a retry of pending operations.
+	Kick()
+}
+
+// BaseModule provides default implementations so concrete modules only
+// override what they support.
+type BaseModule struct {
+	ModRef core.ModuleRef
+	Svc    Services
+}
+
+// Ref implements Module.
+func (b *BaseModule) Ref() core.ModuleRef { return b.ModRef }
+
+// PipeAttached implements Module (accepts silently).
+func (b *BaseModule) PipeAttached(*Pipe, PipeSide) error { return nil }
+
+// PipeDeleted implements Module.
+func (b *BaseModule) PipeDeleted(*Pipe, PipeSide) error { return nil }
+
+// InstallSwitchRule implements Module (unsupported).
+func (b *BaseModule) InstallSwitchRule(*SwitchRuleInstance) error { return ErrUnsupported }
+
+// InstallFilterRule implements Module (unsupported).
+func (b *BaseModule) InstallFilterRule(*FilterRuleInstance) error { return ErrUnsupported }
+
+// HandleConvey implements Module (ignores).
+func (b *BaseModule) HandleConvey(core.ModuleRef, string, []byte) error { return nil }
+
+// ListFields implements Module (nothing to report).
+func (b *BaseModule) ListFields(string) (map[string]string, error) {
+	return map[string]string{}, nil
+}
+
+// SelfTest implements Module (unsupported).
+func (b *BaseModule) SelfTest(core.PipeID) (bool, string) {
+	return false, "self-test unsupported"
+}

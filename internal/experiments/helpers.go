@@ -1,0 +1,59 @@
+package experiments
+
+import "conman/internal/nm"
+
+// nmBuild builds the NM's potential graph for a testbed.
+func nmBuild(tb *Testbed) (*nm.Graph, error) { return nm.BuildGraph(tb.NM) }
+
+// nmSpec turns a goal into a path-finder spec.
+func nmSpec(goal nm.Goal) nm.FindSpec {
+	return nm.FindSpec{From: goal.From, To: goal.To, TrafficDomain: goal.TrafficDomain}
+}
+
+// pathWith selects the first path with the given description.
+func pathWith(paths []*nm.Path, desc string) *nm.Path {
+	for _, p := range paths {
+		if p.Describe() == desc {
+			return p
+		}
+	}
+	return nil
+}
+
+// ConfigureVPN is the one-call high-level API the examples use: find all
+// paths for the goal, pick one (preferring the given description when
+// non-empty, the paper's selector otherwise), compile and execute it.
+func ConfigureVPN(tb *Testbed, goal nm.Goal, prefer string) (*nm.Path, []nm.DeviceScript, error) {
+	g, err := nm.BuildGraph(tb.NM)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, _, err := g.FindPaths(nmSpec(goal))
+	if err != nil {
+		return nil, nil, err
+	}
+	var chosen *nm.Path
+	if prefer != "" {
+		chosen = pathWith(paths, prefer)
+	}
+	if chosen == nil {
+		chosen = nm.SelectPath(paths)
+	}
+	if chosen == nil {
+		return nil, nil, errNoPath
+	}
+	scripts, err := tb.NM.Compile(chosen, goal)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tb.NM.Execute(scripts); err != nil {
+		return nil, nil, err
+	}
+	return chosen, scripts, nil
+}
+
+type noPathError struct{}
+
+func (noPathError) Error() string { return "experiments: no path satisfies the goal" }
+
+var errNoPath = noPathError{}

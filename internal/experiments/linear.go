@@ -1,0 +1,319 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+
+	"conman/internal/channel"
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+	"conman/internal/modules"
+	"conman/internal/msg"
+	"conman/internal/netsim"
+	"conman/internal/nm"
+)
+
+// rid names the k-th router (1-based) with zero padding so lexicographic
+// device order matches path order (the modules' initiator rule relies on
+// it, as the paper's implicit ordering does on device identity).
+func rid(k int) core.DeviceID { return core.DeviceID(fmt.Sprintf("R%02d", k)) }
+
+// linkSubnet returns the ISP /24 for the link between router k and k+1.
+func linkSubnet(k int) (left, right netip.Prefix) {
+	return pfx(fmt.Sprintf("10.100.%d.1/24", k)), pfx(fmt.Sprintf("10.100.%d.2/24", k))
+}
+
+// newLinearBase creates the shared parts of a linear-n testbed: netsim,
+// hub, NM, customer routers D and E at the ends.
+func newLinearBase() (*Testbed, error) {
+	tb := &Testbed{
+		Net: netsim.New(), Hub: channel.NewHub(), NM: nm.New(),
+		Devices:  make(map[core.DeviceID]*device.Device),
+		Customer: make(map[core.DeviceID]*kernel.Kernel),
+	}
+	tb.NM.AttachChannel(tb.Hub.Endpoint(msg.NMName))
+	d, err := customerRouter(tb.Net, "D", pfx("192.168.0.1/24"), pfx("10.0.1.1/24"), ip("192.168.0.2"))
+	if err != nil {
+		return nil, err
+	}
+	e, err := customerRouter(tb.Net, "E", pfx("192.168.1.1/24"), pfx("10.0.2.1/24"), ip("192.168.1.2"))
+	if err != nil {
+		return nil, err
+	}
+	tb.Customer["D"], tb.Customer["E"] = d, e
+	tb.NM.SetDomain("C1-S1", "10.0.1.0/24")
+	tb.NM.SetDomain("C1-S2", "10.0.2.0/24")
+	tb.NM.SetGateway("S1-gateway", "192.168.0.1")
+	tb.NM.SetGateway("S2-gateway", "192.168.1.1")
+	return tb, nil
+}
+
+func (tb *Testbed) startAll() error {
+	for _, dev := range tb.Devices {
+		dev.MA.AttachChannel(tb.Hub.Endpoint(string(dev.ID)))
+	}
+	for _, dev := range tb.Devices {
+		if err := dev.MA.Start(); err != nil {
+			return err
+		}
+	}
+	return tb.NM.DiscoverAll()
+}
+
+func (tb *Testbed) wire(n int, leftPort, rightPort string) error {
+	if err := connect(tb.Net, "D-R1",
+		netsim.PortID{Device: "D", Name: "eth0"},
+		netsim.PortID{Device: rid(1), Name: leftPort}); err != nil {
+		return err
+	}
+	for k := 1; k < n; k++ {
+		if err := connect(tb.Net, fmt.Sprintf("R%d-R%d", k, k+1),
+			netsim.PortID{Device: rid(k), Name: rightPort},
+			netsim.PortID{Device: rid(k + 1), Name: leftPort}); err != nil {
+			return err
+		}
+	}
+	return connect(tb.Net, "Rn-E",
+		netsim.PortID{Device: rid(n), Name: rightPort},
+		netsim.PortID{Device: "E", Name: "eth0"})
+}
+
+// BuildLinearGRE builds a chain of n >= 3 routers with GRE modules at the
+// ends, for the Table VI GRE row (messages: 3n+2 sent, 2n+2 received).
+func BuildLinearGRE(n int) (*Testbed, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
+	}
+	tb, err := newLinearBase()
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; k <= n; k++ {
+		dev, err := device.New(tb.Net, rid(k), kernel.RoleRouter, "eth0", "eth1")
+		if err != nil {
+			return nil, err
+		}
+		tb.Devices[rid(k)] = dev
+		edge := k == 1 || k == n
+		custIface, coreIface := "eth0", "eth1"
+		if k == n {
+			custIface, coreIface = "eth1", "eth0"
+		}
+
+		e0 := modules.NewETH(dev.MA, "e0", false, "eth0")
+		e1 := modules.NewETH(dev.MA, "e1", false, "eth1")
+		if edge {
+			dev.MarkExternal(custIface)
+			if custIface == "eth0" {
+				e0.RegisterPhysical(dev.MA, "eth0")
+				e1.RegisterPhysical(dev.MA)
+			} else {
+				e0.RegisterPhysical(dev.MA)
+				e1.RegisterPhysical(dev.MA, "eth1")
+			}
+		} else {
+			e0.RegisterPhysical(dev.MA)
+			e1.RegisterPhysical(dev.MA)
+		}
+		dev.AddModule(e0)
+		dev.AddModule(e1)
+
+		ispAddrs := map[string]netip.Prefix{}
+		if k > 1 {
+			_, right := linkSubnet(k - 1)
+			ispAddrs[leftIface(k, n)] = right
+		}
+		if k < n {
+			left, _ := linkSubnet(k)
+			ispAddrs[rightIface(k, n)] = left
+		}
+		if edge {
+			custAddr := pfx("192.168.0.2/24")
+			if k == n {
+				custAddr = pfx("192.168.1.2/24")
+			}
+			ipc, err := modules.NewIP(dev.MA, "ipc", "C1", map[string]netip.Prefix{custIface: custAddr})
+			if err != nil {
+				return nil, err
+			}
+			dev.AddModule(ipc)
+			ips, err := modules.NewIP(dev.MA, "ips", "ISP", map[string]netip.Prefix{coreIface: ispAddrs[coreIface]})
+			if err != nil {
+				return nil, err
+			}
+			dev.AddModule(ips)
+			dev.AddModule(modules.NewGRE(dev.MA, "gre"))
+		} else {
+			ips, err := modules.NewIP(dev.MA, "ips", "ISP", ispAddrs)
+			if err != nil {
+				return nil, err
+			}
+			dev.AddModule(ips)
+		}
+	}
+	if err := tb.wire(n, "eth0", "eth1"); err != nil {
+		return nil, err
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+func leftIface(k, n int) string { return "eth0" }
+func rightIface(k, n int) string {
+	if k == n {
+		return "eth0"
+	}
+	return "eth1"
+}
+
+// BuildLinearMPLS builds a chain of n routers: edge routers carry the
+// customer IP module and MPLS; transit routers are pure LSRs (MPLS + two
+// ETH modules; their link addresses live in the kernel).
+func BuildLinearMPLS(n int) (*Testbed, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
+	}
+	tb, err := newLinearBase()
+	if err != nil {
+		return nil, err
+	}
+	for k := 1; k <= n; k++ {
+		dev, err := device.New(tb.Net, rid(k), kernel.RoleRouter, "eth0", "eth1")
+		if err != nil {
+			return nil, err
+		}
+		tb.Devices[rid(k)] = dev
+		edge := k == 1 || k == n
+		custIface := "eth0"
+		if k == n {
+			custIface = "eth1"
+		}
+		e0 := modules.NewETH(dev.MA, "e0", false, "eth0")
+		e1 := modules.NewETH(dev.MA, "e1", false, "eth1")
+		if edge {
+			dev.MarkExternal(custIface)
+		}
+		if edge && custIface == "eth0" {
+			e0.RegisterPhysical(dev.MA, "eth0")
+			e1.RegisterPhysical(dev.MA)
+		} else if edge {
+			e0.RegisterPhysical(dev.MA)
+			e1.RegisterPhysical(dev.MA, "eth1")
+		} else {
+			e0.RegisterPhysical(dev.MA)
+			e1.RegisterPhysical(dev.MA)
+		}
+		dev.AddModule(e0)
+		dev.AddModule(e1)
+
+		// ISP link addresses (kernel-level for transit LSRs).
+		if k > 1 {
+			_, right := linkSubnet(k - 1)
+			if err := dev.Kernel.AddAddr("eth0", right); err != nil {
+				return nil, err
+			}
+		}
+		if k < n {
+			left, _ := linkSubnet(k)
+			iface := "eth1"
+			if err := dev.Kernel.AddAddr(iface, left); err != nil {
+				return nil, err
+			}
+		}
+		if edge {
+			custAddr := pfx("192.168.0.2/24")
+			if k == n {
+				custAddr = pfx("192.168.1.2/24")
+			}
+			ipc, err := modules.NewIP(dev.MA, "ipc", "C1", map[string]netip.Prefix{custIface: custAddr})
+			if err != nil {
+				return nil, err
+			}
+			dev.AddModule(ipc)
+		}
+		dev.AddModule(modules.NewMPLS(dev.MA, "mpls", uint32(1000*(k+1)+1)))
+	}
+	if err := tb.wire(n, "eth0", "eth1"); err != nil {
+		return nil, err
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// BuildLinearVLAN builds a chain of n L2 switches with QinQ tunnel ports
+// at the ends.
+func BuildLinearVLAN(n int) (*Testbed, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
+	}
+	tb, err := newLinearBase()
+	if err != nil {
+		return nil, err
+	}
+	// L2 endpoints share one subnet.
+	d, e := tb.Customer["D"], tb.Customer["E"]
+	resetCustomerL2(d, pfx("192.168.5.1/24"), ip("192.168.5.2"), pfx("10.0.2.0/24"))
+	resetCustomerL2(e, pfx("192.168.5.2/24"), ip("192.168.5.1"), pfx("10.0.1.0/24"))
+	tb.NM.SetGateway("S1-gateway", "192.168.5.1")
+	tb.NM.SetGateway("S2-gateway", "192.168.5.2")
+
+	for k := 1; k <= n; k++ {
+		edge := k == 1 || k == n
+		custIface := "eth0"
+		if k == n {
+			custIface = "eth1"
+		}
+		dev, err := device.New(tb.Net, rid(k), kernel.RoleSwitch, "eth0", "eth1")
+		if err != nil {
+			return nil, err
+		}
+		tb.Devices[rid(k)] = dev
+		eth := modules.NewETH(dev.MA, "eth", true, "eth0", "eth1")
+		if edge {
+			dev.MarkExternal(custIface)
+			eth.RegisterPhysical(dev.MA, custIface)
+		} else {
+			eth.RegisterPhysical(dev.MA)
+		}
+		dev.AddModule(eth)
+		dev.AddModule(modules.NewVLAN(dev.MA, "vlan", 22, "C1", 1504))
+	}
+	if err := tb.wire(n, "eth0", "eth1"); err != nil {
+		return nil, err
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// resetCustomerL2 rewires a customer router for the shared-subnet L2
+// scenario (replacing the defaults newLinearBase installed).
+func resetCustomerL2(k *kernel.Kernel, uplink netip.Prefix, peer netip.Addr, remoteSite netip.Prefix) {
+	k.DelRoutes("main", "eth0")
+	_ = k.AddAddr("eth0", uplink)
+	_ = k.AddRoute("", kernel.Route{Dst: remoteSite, Via: peer, Dev: "eth0", MPLSKey: -1})
+}
+
+// LinearGoal is the site-to-site goal on a linear chain.
+func LinearGoal(n int, tagClassified bool) nm.Goal {
+	fromMod, toMod := core.ModuleID("e0"), core.ModuleID("e1")
+	if tagClassified {
+		fromMod, toMod = "eth", "eth"
+	}
+	return nm.Goal{
+		From:          core.Ref(core.NameETH, rid(1), fromMod),
+		To:            core.Ref(core.NameETH, rid(n), toMod),
+		FromDomain:    "C1-S1",
+		ToDomain:      "C1-S2",
+		FromGateway:   "S1-gateway",
+		ToGateway:     "S2-gateway",
+		TrafficDomain: "C1",
+		TagClassified: tagClassified,
+	}
+}

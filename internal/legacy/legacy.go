@@ -1,0 +1,338 @@
+// Package legacy models "configuration today" (paper §III-C.2): the
+// hand-written device-level scripts of Figs 7(a), 8(a) and 9(a), with
+// every command and state variable tagged as generic or protocol-specific
+// so the Table V comparison can be computed mechanically. It also counts
+// CONMan scripts with the same metric.
+//
+// Classification rule (DESIGN.md §5): a command's identity is its leading
+// keyword phrase; a variable is protocol-specific if understanding it
+// requires protocol knowledge beyond the module abstraction (tunnel keys,
+// checksum/sequence flags, label numbers, routing-table ids, 802.1Q mode
+// values), generic otherwise (interface names, addresses the NM assigned,
+// prefixes, module/pipe identifiers).
+package legacy
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Class tags a command or variable.
+type Class uint8
+
+const (
+	Generic Class = iota
+	Specific
+)
+
+func (c Class) String() string {
+	if c == Generic {
+		return "generic"
+	}
+	return "specific"
+}
+
+// Var is one state variable occurrence in a script.
+type Var struct {
+	Ident string // identity for deduplication
+	Class Class
+}
+
+// Command is one script command with its classification.
+type Command struct {
+	Name  string // command identity, e.g. "ip tunnel add"
+	Class Class
+	Text  string // full command line
+	Vars  []Var
+}
+
+// Script is a classified configuration script.
+type Script struct {
+	Title    string
+	Commands []Command
+}
+
+// Text renders the raw script.
+func (s Script) Text() string {
+	lines := make([]string, len(s.Commands))
+	for i, c := range s.Commands {
+		lines[i] = c.Text
+	}
+	return strings.Join(lines, "\n")
+}
+
+// Counts is one Table V column.
+type Counts struct {
+	GenericCommands  int
+	SpecificCommands int
+	GenericVars      int
+	SpecificVars     int
+}
+
+// Count tallies distinct command and variable identities per class.
+func Count(s Script) Counts {
+	cmdSeen := map[string]Class{}
+	varSeen := map[string]Class{}
+	for _, c := range s.Commands {
+		cmdSeen[c.Name] = c.Class
+		for _, v := range c.Vars {
+			varSeen[v.Ident] = v.Class
+		}
+	}
+	var out Counts
+	for _, cl := range cmdSeen {
+		if cl == Generic {
+			out.GenericCommands++
+		} else {
+			out.SpecificCommands++
+		}
+	}
+	for _, cl := range varSeen {
+		if cl == Generic {
+			out.GenericVars++
+		} else {
+			out.SpecificVars++
+		}
+	}
+	return out
+}
+
+func g(id string) Var  { return Var{Ident: id, Class: Generic} }
+func sp(id string) Var { return Var{Ident: id, Class: Specific} }
+
+// TodayGRE is the Fig 7(a) script: the Linux configuration a human (or a
+// management application with full GRE knowledge) writes on router A.
+func TodayGRE() Script {
+	return Script{
+		Title: "GRE VPN configuration today (Fig 7a, router A)",
+		Commands: []Command{
+			{Name: "insmod", Class: Specific,
+				Text: "insmod /lib/modules/2.6.14-2/ip_gre.ko",
+				Vars: []Var{sp("ip_gre.ko")}},
+			{Name: "ip tunnel add", Class: Specific,
+				Text: "ip tunnel add name greA mode gre remote 204.9.169.1 local 204.9.168.1 ikey 1001 okey 2001 icsum ocsum iseq oseq",
+				Vars: []Var{sp("greA"), sp("mode:gre"), g("204.9.169.1"), g("204.9.168.1"),
+					sp("ikey:1001"), sp("okey:2001"), sp("icsum"), sp("ocsum"), sp("iseq"), sp("oseq")}},
+			{Name: "ifconfig", Class: Specific,
+				Text: "ifconfig greA 192.168.3.1",
+				Vars: []Var{sp("greA"), g("192.168.3.1")}},
+			{Name: "echo", Class: Generic,
+				Text: "echo 1 > /proc/sys/net/ipv4/ip_forward",
+				Vars: []Var{g("ip_forward:1")}},
+			{Name: "echo", Class: Generic,
+				Text: "echo 202 tun-1-2 >> /etc/iproute2/rt_tables",
+				Vars: []Var{sp("table:tun-1-2")}},
+			{Name: "ip rule add", Class: Specific,
+				Text: "ip rule add to 10.0.2.0/24 table tun-1-2",
+				Vars: []Var{g("10.0.2.0/24"), sp("table:tun-1-2")}},
+			{Name: "ip route add default", Class: Specific,
+				Text: "ip route add default dev greA table tun-1-2",
+				Vars: []Var{g("default"), sp("greA"), sp("table:tun-1-2")}},
+			{Name: "echo", Class: Generic,
+				Text: "echo 203 tun-2-1 >> /etc/iproute2/rt_tables",
+				Vars: []Var{sp("table:tun-2-1")}},
+			{Name: "ip rule add", Class: Specific,
+				Text: "ip rule add iff greA table tun-2-1",
+				Vars: []Var{sp("greA"), sp("table:tun-2-1")}},
+			{Name: "ip route add default", Class: Specific,
+				Text: "ip route add default dev eth1 table tun-2-1",
+				Vars: []Var{g("default"), g("eth1"), sp("table:tun-2-1")}},
+			{Name: "ip route add to", Class: Specific,
+				Text: "ip route add to 204.9.169.1 via 204.9.168.2 dev eth2",
+				Vars: []Var{g("204.9.169.1"), g("204.9.168.2"), g("eth2")}},
+		},
+	}
+}
+
+// TodayMPLS is the Fig 8(a) script on router A.
+func TodayMPLS() Script {
+	return Script{
+		Title: "MPLS LSP configuration today (Fig 8a, router A)",
+		Commands: []Command{
+			{Name: "modprobe", Class: Specific,
+				Text: "modprobe mpls",
+				Vars: []Var{sp("mpls-modules")}},
+			{Name: "modprobe", Class: Specific,
+				Text: "modprobe mpls4",
+				Vars: []Var{sp("mpls-modules")}},
+			{Name: "mpls labelspace set", Class: Specific,
+				Text: "mpls labelspace set dev eth2 labelspace 0",
+				Vars: []Var{g("eth2"), sp("labelspace:0")}},
+			{Name: "mpls ilm add", Class: Specific,
+				Text: "mpls ilm add label gen 10001 labelspace 0",
+				Vars: []Var{sp("label:gen"), sp("label:10001"), sp("labelspace:0")}},
+			{Name: "mpls nhlfe add", Class: Specific,
+				Text: "KEY-S2-S1=`mpls nhlfe add key 0 mtu 1500 instructions nexthop eth1 ipv4 192.168.0.1 | grep key | cut -c 17-26`",
+				Vars: []Var{sp("key:KEY-S2-S1"), sp("mtu:1500"), g("eth1"), g("192.168.0.1")}},
+			{Name: "mpls xc add", Class: Specific,
+				Text: "mpls xc add ilm label gen 10001 ilm labelspace 0 nhlfe key $KEY-S2-S1",
+				Vars: []Var{sp("label:gen"), sp("label:10001"), sp("labelspace:0"), sp("key:KEY-S2-S1")}},
+			{Name: "mpls nhlfe add", Class: Specific,
+				Text: "KEY-S1-S2=`mpls nhlfe add key 0 mtu 1500 instructions push gen 2001 nexthop eth2 ipv4 204.9.168.2 | grep key | cut -c 17-26`",
+				Vars: []Var{sp("key:KEY-S1-S2"), sp("mtu:1500"), sp("label:2001"), g("eth2"), g("204.9.168.2")}},
+			{Name: "echo", Class: Generic,
+				Text: "echo 1> /proc/sys/net/ipv4/ip_forward",
+				Vars: []Var{g("ip_forward:1")}},
+			{Name: "ip route add mpls", Class: Specific,
+				Text: "ip route add 10.0.2.0/24 via 204.9.168.2 mpls $KEY-S1-S2",
+				Vars: []Var{g("10.0.2.0/24"), g("204.9.168.2"), sp("key:KEY-S1-S2")}},
+		},
+	}
+}
+
+// TodayVLAN is the Fig 9(a) CatOS script on switch A.
+func TodayVLAN() Script {
+	return Script{
+		Title: "VLAN tunnel configuration today (Fig 9a, switch A, CatOS)",
+		Commands: []Command{
+			{Name: "set vlan", Class: Specific,
+				Text: "set vlan 22 name C1 mtu 1504",
+				Vars: []Var{sp("vlan:22"), g("C1"), sp("mtu:1504")}},
+			{Name: "set vlan", Class: Specific,
+				Text: "set vlan 22 gigabitethernet0/9",
+				Vars: []Var{sp("vlan:22"), g("gigabitethernet0/9")}},
+			{Name: "interface", Class: Generic,
+				Text: "interface gigabitethernet0/7",
+				Vars: []Var{g("gigabitethernet0/7")}},
+			{Name: "switchport access vlan", Class: Specific,
+				Text: "switchport access vlan 22",
+				Vars: []Var{sp("mode:access"), sp("vlan:22")}},
+			{Name: "switchport mode", Class: Specific,
+				Text: "switchport mode dot1q-tunnel",
+				Vars: []Var{sp("mode:dot1q-tunnel")}},
+			{Name: "exit", Class: Generic, Text: "exit"},
+			{Name: "vlan dot1q tag native", Class: Specific,
+				Text: "vlan dot1q tag native",
+				Vars: []Var{sp("dot1q:native")}},
+			{Name: "end", Class: Generic, Text: "end"},
+		},
+	}
+}
+
+// ClassifyCONMan tokenizes a rendered CONMan script (the compiler's
+// output) into the same metric: commands are the create() primitives;
+// variables are pipe ids, module references and trade-off names (all
+// generic — the devices themselves exposed them), plus the domain and
+// gateway tokens, which are protocol-specific (the NM's admitted IP
+// knowledge, §III-C.2).
+func ClassifyCONMan(title, script string) Script {
+	out := Script{Title: title}
+	for _, line := range strings.Split(script, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var cmd Command
+		cmd.Text = line
+		switch {
+		case strings.Contains(line, "create (pipe"):
+			cmd.Name = "create (pipe)"
+		case strings.Contains(line, "create (switch"):
+			cmd.Name = "create (switch)"
+		case strings.Contains(line, "create (filter"):
+			cmd.Name = "create (filter)"
+		default:
+			cmd.Name = "other"
+		}
+		cmd.Class = Generic
+		cmd.Vars = conmanVars(line)
+		out.Commands = append(out.Commands, cmd)
+	}
+	return out
+}
+
+func conmanVars(line string) []Var {
+	var vars []Var
+	// Module references <NAME,DEV,ID>.
+	rest := line
+	for {
+		i := strings.IndexByte(rest, '<')
+		if i < 0 {
+			break
+		}
+		j := strings.IndexByte(rest[i:], '>')
+		if j < 0 {
+			break
+		}
+		vars = append(vars, g(rest[i:i+j+1]))
+		rest = rest[i+j+1:]
+	}
+	// Pipe identifiers and classifier tokens.
+	clean := strings.NewReplacer("(", " ", ")", " ", "[", " ", "]", " ", ",", " ").Replace(line)
+	fields := strings.Fields(clean)
+	for i := 0; i < len(fields); i++ {
+		f := strings.TrimSuffix(fields[i], ",")
+		switch {
+		case strings.HasPrefix(f, "P") && len(f) <= 4 && f != "Phy":
+			vars = append(vars, g("pipe:"+f))
+		case strings.HasPrefix(f, "Phy-"):
+			vars = append(vars, g("pipe:"+f))
+		case strings.HasPrefix(f, "dst:"):
+			vars = append(vars, sp("domain:"+strings.TrimPrefix(f, "dst:")))
+		case strings.HasSuffix(f, "-gateway"):
+			vars = append(vars, sp("gateway:"+f))
+		case f == "trade-off:":
+			if i+1 < len(fields) {
+				vars = append(vars, g("tradeoff:"+fields[i+1]))
+			}
+		case f == "Tagged":
+			vars = append(vars, g("classifier:tagged"))
+		}
+	}
+	return vars
+}
+
+// TableVRow is one scenario of Table V.
+type TableVRow struct {
+	Scenario string
+	Today    Counts
+	CONMan   Counts
+}
+
+// RenderTableV prints rows in the paper's Table V layout.
+func RenderTableV(rows []TableVRow) string {
+	var b strings.Builder
+	b.WriteString("                      ")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-14s", r.Scenario)
+	}
+	b.WriteString("\n                      ")
+	for range rows {
+		b.WriteString("T      C      ")
+	}
+	b.WriteString("\n")
+	rowLine := func(label string, f func(Counts) int) {
+		fmt.Fprintf(&b, "%-22s", label)
+		for _, r := range rows {
+			fmt.Fprintf(&b, "%-7d%-7d", f(r.Today), f(r.CONMan))
+		}
+		b.WriteString("\n")
+	}
+	rowLine("Generic Commands", func(c Counts) int { return c.GenericCommands })
+	rowLine("Specific Commands", func(c Counts) int { return c.SpecificCommands })
+	rowLine("Generic State Var.", func(c Counts) int { return c.GenericVars })
+	rowLine("Specific State Var.", func(c Counts) int { return c.SpecificVars })
+	return b.String()
+}
+
+// Vars returns the distinct variable identities of a script per class,
+// sorted (used in tests and reports).
+func Vars(s Script) (generic, specific []string) {
+	seen := map[string]Class{}
+	for _, c := range s.Commands {
+		for _, v := range c.Vars {
+			seen[v.Ident] = v.Class
+		}
+	}
+	for id, cl := range seen {
+		if cl == Generic {
+			generic = append(generic, id)
+		} else {
+			specific = append(specific, id)
+		}
+	}
+	sort.Strings(generic)
+	sort.Strings(specific)
+	return generic, specific
+}

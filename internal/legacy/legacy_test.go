@@ -1,0 +1,95 @@
+package legacy
+
+import "testing"
+
+func TestTodayGREMatchesTableV(t *testing.T) {
+	c := Count(TodayGRE())
+	want := Counts{GenericCommands: 1, SpecificCommands: 6, GenericVars: 9, SpecificVars: 11}
+	if c != want {
+		gen, spec := Vars(TodayGRE())
+		t.Fatalf("GRE today = %+v, want %+v\ngeneric: %v\nspecific: %v", c, want, gen, spec)
+	}
+}
+
+func TestTodayMPLSMatchesTableV(t *testing.T) {
+	c := Count(TodayMPLS())
+	want := Counts{GenericCommands: 1, SpecificCommands: 6, GenericVars: 6, SpecificVars: 8}
+	if c != want {
+		gen, spec := Vars(TodayMPLS())
+		t.Fatalf("MPLS today = %+v, want %+v\ngeneric: %v\nspecific: %v", c, want, gen, spec)
+	}
+}
+
+func TestTodayVLANMatchesTableV(t *testing.T) {
+	c := Count(TodayVLAN())
+	want := Counts{GenericCommands: 3, SpecificCommands: 4, GenericVars: 3, SpecificVars: 5}
+	if c != want {
+		gen, spec := Vars(TodayVLAN())
+		t.Fatalf("VLAN today = %+v, want %+v\ngeneric: %v\nspecific: %v", c, want, gen, spec)
+	}
+}
+
+func TestClassifyCONManGRE(t *testing.T) {
+	// The compiler-rendered router-A script of Fig 7b (from the live
+	// system; regenerated in the experiments package — this pins the
+	// classifier behaviour).
+	script := `P0 = create (pipe, <IP,A,g>, <ETH,A,a>, None, None, None)
+P1 = create (pipe, <IP,A,g>, <GRE,A,l>, <IP,C,k>, <GRE,C,n>, trade-off: ordering, trade-off: error-rate)
+create (switch, <IP,A,g>, [P0, dst:C1-S2 => P1])
+create (switch, <IP,A,g>, [P1 => P0, S1-gateway])
+P2 = create (pipe, <GRE,A,l>, <IP,A,h>, <GRE,C,n>, <IP,C,j>, None)
+create (switch, <GRE,A,l>, P1, P2)
+P3 = create (pipe, <IP,A,h>, <ETH,A,b>, <IP,B,i>, <ETH,B,c>, None)
+create (switch, <IP,A,h>, P2, P3)
+create (switch, <ETH,A,b>, P3, Phy-eth2)`
+	s := ClassifyCONMan("gre", script)
+	c := Count(s)
+	if c.GenericCommands != 2 || c.SpecificCommands != 0 {
+		t.Fatalf("commands = %+v, want 2 generic / 0 specific", c)
+	}
+	// The paper's headline: exactly two protocol-specific state
+	// variables remain (the customer prefix and the gateway).
+	if c.SpecificVars != 2 {
+		_, spec := Vars(s)
+		t.Fatalf("specific vars = %d (%v), want 2", c.SpecificVars, spec)
+	}
+	if c.GenericVars < 15 {
+		t.Fatalf("generic vars = %d, implausibly low", c.GenericVars)
+	}
+}
+
+func TestCountDeduplicates(t *testing.T) {
+	s := Script{Commands: []Command{
+		{Name: "x", Class: Generic, Vars: []Var{g("a"), g("a"), sp("b")}},
+		{Name: "x", Class: Generic, Vars: []Var{sp("b")}},
+	}}
+	c := Count(s)
+	if c.GenericCommands != 1 || c.GenericVars != 1 || c.SpecificVars != 1 {
+		t.Fatalf("count = %+v", c)
+	}
+}
+
+func TestScriptTextRoundTrip(t *testing.T) {
+	txt := TodayGRE().Text()
+	for _, want := range []string{"insmod", "ip tunnel add", "ikey 1001", "iff greA"} {
+		if !contains(txt, want) {
+			t.Errorf("script text missing %q", want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(len(s) > len(sub) && (s[:len(sub)] == sub || contains(s[1:], sub))))
+}
+
+func TestRenderTableV(t *testing.T) {
+	out := RenderTableV([]TableVRow{
+		{Scenario: "GRE", Today: Count(TodayGRE()), CONMan: Counts{GenericCommands: 2, GenericVars: 17, SpecificVars: 2}},
+	})
+	for _, want := range []string{"Generic Commands", "Specific State Var."} {
+		if !contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

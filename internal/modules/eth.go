@@ -1,0 +1,330 @@
+// Package modules implements the CONMan protocol modules of the paper's
+// §III as wrappers around the simulated device kernel: ETH, IP (IPv4),
+// GRE, MPLS and VLAN, plus application modules and the IPsec/IKE
+// control-module pair. Each module self-describes through the generic
+// module abstraction, derives its own low-level parameters by talking to
+// peer modules through the NM (conveyMessage / listFieldsAndValues), and
+// translates abstract pipes and switch rules into device-level
+// configuration — keeping every protocol detail out of the management
+// plane.
+package modules
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+)
+
+// ETH models an Ethernet module. On a router it wraps one NIC
+// ([phy=>up]/[up=>phy]); on an L2 switch one ETH module covers all ports
+// and additionally offers [phy=>phy] and the [phy=>down]/[down=>phy] pair
+// used with a VLAN module (Fig 9).
+type ETH struct {
+	device.BaseModule
+
+	mu        sync.Mutex
+	isSwitch  bool
+	ifaces    []string               // kernel port names
+	physPipes map[core.PipeID]string // physical pipe id -> iface
+	external  map[core.PipeID]bool
+	upPipes   map[core.PipeID]*device.Pipe
+	rules     []*device.SwitchRuleInstance
+	vlanDone  map[string]bool // idempotence for emitted CatOS port config
+}
+
+// NewETH creates an Ethernet module. For routers pass a single interface;
+// for switches pass every port. Physical pipes are registered with the MA
+// under the ids "Phy-<iface>".
+func NewETH(svc device.Services, id core.ModuleID, isSwitch bool, ifaces ...string) *ETH {
+	e := &ETH{
+		BaseModule: device.BaseModule{
+			ModRef: core.Ref(core.NameETH, svc.Device(), id),
+			Svc:    svc,
+		},
+		isSwitch:  isSwitch,
+		ifaces:    append([]string(nil), ifaces...),
+		physPipes: make(map[core.PipeID]string),
+		external:  make(map[core.PipeID]bool),
+		upPipes:   make(map[core.PipeID]*device.Pipe),
+		vlanDone:  make(map[string]bool),
+	}
+	return e
+}
+
+// RegisterPhysical registers the module's physical pipes with the MA and
+// marks external (customer-facing) ports. Call once after construction.
+func (e *ETH) RegisterPhysical(ma *device.MA, externalIfaces ...string) {
+	ext := make(map[string]bool, len(externalIfaces))
+	for _, i := range externalIfaces {
+		ext[i] = true
+	}
+	for _, iface := range e.ifaces {
+		id := PhysPipeID(iface)
+		p := &device.Pipe{
+			ID:       id,
+			Lower:    e.Ref(), // the ETH module owns its physical pipes
+			Status:   core.PipeUp,
+			Physical: true,
+			Iface:    iface,
+			External: ext[iface],
+		}
+		e.mu.Lock()
+		e.physPipes[id] = iface
+		e.external[id] = ext[iface]
+		e.mu.Unlock()
+		ma.RegisterPhysicalPipe(p)
+	}
+}
+
+// PhysPipeID names the physical pipe of an interface.
+func PhysPipeID(iface string) core.PipeID {
+	return core.PipeID("Phy-" + iface)
+}
+
+// Abstraction implements device.Module (paper Table II/IV).
+func (e *ETH) Abstraction() core.Abstraction {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	a := core.Abstraction{
+		Ref:      e.Ref(),
+		Kind:     core.KindData,
+		Peerable: []core.ModuleName{core.NameETH},
+		Up:       core.PipeSpec{Connectable: []core.ModuleName{core.NameIPv4, core.NameMPLS, core.NameVLAN}},
+		Filter: core.FilterSpec{
+			Classifiers: []core.FilterClassifier{core.FilterByPipe},
+			Locations:   []core.PipeEnd{core.EndPhy},
+		},
+		PerfReporting: []string{"rx-packets/pipe", "tx-packets/pipe"},
+	}
+	if e.isSwitch {
+		a.Down = core.PipeSpec{Connectable: []core.ModuleName{core.NameVLAN}}
+		a.Switch = core.SwitchSpec{
+			Modes: []core.SwitchMode{
+				core.SwPhyUp, core.SwUpPhy, core.SwPhyPhy, core.SwPhyDown, core.SwDownPhy,
+			},
+			Multicast:   true,
+			StateSource: core.StateLocal,
+		}
+	} else {
+		a.Switch = core.SwitchSpec{
+			Modes:       []core.SwitchMode{core.SwPhyUp, core.SwUpPhy},
+			StateSource: core.StateLocal,
+		}
+	}
+	for id, iface := range e.physPipes {
+		a.Physical = append(a.Physical, core.PhysicalPipeInfo{
+			Pipe:     id,
+			Enabled:  true,
+			External: e.external[id],
+			// Peer fields are filled by the NM from topology reports.
+		})
+		_ = iface
+	}
+	sortPhysical(a.Physical)
+	return a
+}
+
+func sortPhysical(ps []core.PhysicalPipeInfo) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Pipe < ps[j-1].Pipe; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// Actual implements device.Module.
+func (e *ETH) Actual() core.ModuleState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := core.ModuleState{Ref: e.Ref(), LowLevel: map[string]string{}}
+	for id, iface := range e.physPipes {
+		rx, tx := e.Svc.Kernel().IfaceCounters(iface)
+		st.Pipes = append(st.Pipes, core.PipeState{
+			ID: id, End: core.EndPhy, Status: core.PipeUp, RxPkts: rx, TxPkts: tx,
+		})
+		st.LowLevel["iface:"+iface] = iface
+	}
+	for id, p := range e.upPipes {
+		st.Pipes = append(st.Pipes, core.PipeState{
+			ID: id, End: core.EndUp, Other: p.Upper, Peer: p.UpperPeer, Status: p.Status,
+		})
+	}
+	for _, r := range e.rules {
+		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{
+			ID: r.ID, From: r.Rule.From, To: r.Rule.To, Match: r.Rule.Match, Via: r.Rule.Via,
+		})
+	}
+	return st
+}
+
+// PipeAttached implements device.Module.
+func (e *ETH) PipeAttached(p *device.Pipe, side device.PipeSide) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	switch side {
+	case device.SideLower:
+		// Something above us (IP, MPLS, VLAN).
+		e.upPipes[p.ID] = p
+	case device.SideUpper:
+		// Only switch ETH modules accept a module "below" them (the VLAN
+		// dance of Fig 9b); nothing to do until the switch rule.
+		if !e.isSwitch {
+			return fmt.Errorf("%s: router ETH has no down pipes", e.Ref())
+		}
+	}
+	return nil
+}
+
+// PipeDeleted implements device.Module.
+func (e *ETH) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	delete(e.upPipes, p.ID)
+	return nil
+}
+
+// ifaceOf resolves a physical pipe id to its kernel interface.
+func (e *ETH) ifaceOf(pipe core.PipeID) (string, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	i, ok := e.physPipes[pipe]
+	return i, ok
+}
+
+// InstallSwitchRule implements device.Module. Router NIC rules ([up-pipe,
+// phys-pipe]) need no kernel action — the routed interface is already
+// live. Switch rules involving a VLAN module translate to CatOS port
+// configuration once the VLAN module has settled on a VID.
+func (e *ETH) InstallSwitchRule(r *device.SwitchRuleInstance) error {
+	from, ok1 := e.Svc.PipeByID(r.Rule.From)
+	to, ok2 := e.Svc.PipeByID(r.Rule.To)
+	if !ok1 || !ok2 {
+		return fmt.Errorf("%s: switch rule references unknown pipes", e.Ref())
+	}
+	phys, other := from, to
+	if !phys.Physical {
+		phys, other = to, from
+	}
+	if !phys.Physical {
+		return fmt.Errorf("%s: ETH switch rules must involve a physical pipe", e.Ref())
+	}
+	if other.Physical && e.isSwitch {
+		// [phy => phy] transit switching of tagged frames: the port VLAN
+		// membership is protocol state only the VLAN module knows; a
+		// path that bypasses it cannot be configured (the NM then picks
+		// the canonical path through the VLAN module instead).
+		return fmt.Errorf("%s: transit [phy => phy] switching needs the VLAN module in the path", e.Ref())
+	}
+	iface, ok := e.ifaceOf(phys.ID)
+	if !ok {
+		return fmt.Errorf("%s: physical pipe %s is not mine", e.Ref(), phys.ID)
+	}
+
+	// Which module is on the other side of the non-physical pipe?
+	var counterpart core.ModuleRef
+	if other.Upper.Module == e.Ref().Module {
+		counterpart = other.Lower
+	} else {
+		counterpart = other.Upper
+	}
+
+	if counterpart.Name == core.NameVLAN && e.isSwitch {
+		if err := e.installVLANPortRule(r, iface, counterpart); err != nil {
+			return err
+		}
+	}
+	e.mu.Lock()
+	e.rules = append(e.rules, r)
+	e.mu.Unlock()
+	return nil
+}
+
+// installVLANPortRule emits the CatOS port configuration for one side of
+// a VLAN tunnel: rules classified "Tagged" mark the customer-facing QinQ
+// tunnel port; unclassified rules mark trunk membership (Fig 9).
+func (e *ETH) installVLANPortRule(r *device.SwitchRuleInstance, iface string, vlanMod core.ModuleRef) error {
+	fields, err := e.Svc.LocalFields(vlanMod.Module, "self")
+	if err != nil {
+		return err
+	}
+	vidStr := fields["vid"]
+	if vidStr == "" {
+		return device.ErrPending // VID not negotiated yet
+	}
+	vid, err := strconv.Atoi(vidStr)
+	if err != nil {
+		return fmt.Errorf("%s: bad vid %q from %s", e.Ref(), vidStr, vlanMod)
+	}
+	k := e.Svc.Kernel()
+
+	key := fmt.Sprintf("%s/%d/%v", iface, vid, r.Rule.Match != nil)
+	e.mu.Lock()
+	done := e.vlanDone[key]
+	e.vlanDone[key] = true
+	e.mu.Unlock()
+	if done {
+		return nil
+	}
+
+	if r.Rule.Match != nil && r.Rule.Match.Kind == "tagged" {
+		// Customer-facing QinQ tunnel port.
+		script := fmt.Sprintf("interface %s\nswitchport access vlan %d\nswitchport mode dot1q-tunnel\nexit", iface, vid)
+		if _, err := k.ExecScript(script); err != nil {
+			return err
+		}
+		return nil
+	}
+	// Trunk membership toward the next switch — unless the port is
+	// already a customer tunnel/access port (the reverse rule of a
+	// [Phy, Tagged => P] pair names the same port and must not
+	// reconfigure it).
+	if mode, _ := k.PortModeOf(iface); mode == kernel.ModeDot1qTunnel || mode == kernel.ModeAccess {
+		return nil
+	}
+	if _, err := k.Exec(fmt.Sprintf("set vlan %d %s", vid, iface)); err != nil {
+		return err
+	}
+	return nil
+}
+
+// ListFields implements device.Module: physical pipe (or up-pipe) to
+// interface-level fields.
+func (e *ETH) ListFields(component string) (map[string]string, error) {
+	if len(component) > 5 && component[:5] == "pipe:" {
+		component = component[5:]
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if iface, ok := e.physPipes[core.PipeID(component)]; ok {
+		return e.fieldsForIface(iface)
+	}
+	// A router NIC has exactly one interface: any up-pipe (even one still
+	// being attached) or "self" maps onto it.
+	if !e.isSwitch && len(e.ifaces) == 1 {
+		return e.fieldsForIface(e.ifaces[0])
+	}
+	return nil, fmt.Errorf("%s: unknown component %q", e.Ref(), component)
+}
+
+func (e *ETH) fieldsForIface(iface string) (map[string]string, error) {
+	out := map[string]string{"dev": iface}
+	if mac, ok := e.Svc.Kernel().PortMAC(iface); ok {
+		out["mac"] = mac.String()
+	}
+	return out, nil
+}
+
+// SelfTest implements device.Module: checks the physical pipe is attached
+// and carrying frames.
+func (e *ETH) SelfTest(pipe core.PipeID) (bool, string) {
+	iface, ok := e.ifaceOf(pipe)
+	if !ok {
+		return false, fmt.Sprintf("no physical pipe %s", pipe)
+	}
+	rx, tx := e.Svc.Kernel().IfaceCounters(iface)
+	return true, fmt.Sprintf("iface %s rx=%d tx=%d", iface, rx, tx)
+}

@@ -1,0 +1,275 @@
+package modules
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"conman/internal/core"
+	"conman/internal/device"
+)
+
+// The IPsec/IKE pair implements the paper's Fig 1 and §II-F example of a
+// data module depending on externally generated state: the IPSec module
+// advertises that its security features need keying material it cannot
+// derive itself (Security.StateDependency with token "ipsec-keys"), and
+// the IKE control module advertises ProvidesState for that token. The NM
+// matches the two without understanding either protocol: it simply names
+// the provider in the DependencyChoice when creating the IPSec pipe.
+
+// IPSecKeyToken is the dependency token linking IPSec to IKE.
+const IPSecKeyToken = "ipsec-keys"
+
+// IKE is a control module (§II-F): it does not fit the data-plane
+// abstraction; it advertises the state it can provide and negotiates
+// session keys with its peer IKE module over the management channel
+// (standing in for its UDP/500 exchange).
+type IKE struct {
+	device.BaseModule
+
+	mu   sync.Mutex
+	keys map[string]uint64 // peer IKE ref -> negotiated key
+}
+
+// ikeMsg is the key negotiation convey body.
+type ikeMsg struct {
+	Nonce uint64 `json:"nonce"`
+	Reply bool   `json:"reply"`
+}
+
+// NewIKE creates an IKE control module.
+func NewIKE(svc device.Services, id core.ModuleID) *IKE {
+	return &IKE{
+		BaseModule: device.BaseModule{
+			ModRef: core.Ref(core.NameIKE, svc.Device(), id),
+			Svc:    svc,
+		},
+		keys: make(map[string]uint64),
+	}
+}
+
+// Abstraction implements device.Module: a control module advertising the
+// dependencies it can satisfy (§II-F's "LCP advertises that it can
+// satisfy dependency X" pattern).
+func (k *IKE) Abstraction() core.Abstraction {
+	return core.Abstraction{
+		Ref:           k.Ref(),
+		Kind:          core.KindControl,
+		Down:          core.PipeSpec{Connectable: []core.ModuleName{core.NameUDP, core.NameIPv4}},
+		Peerable:      []core.ModuleName{core.NameIKE},
+		ProvidesState: []string{IPSecKeyToken},
+	}
+}
+
+// Actual implements device.Module.
+func (k *IKE) Actual() core.ModuleState {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	st := core.ModuleState{Ref: k.Ref(), LowLevel: map[string]string{}}
+	for peer, key := range k.keys {
+		st.LowLevel["sa:"+peer] = fmt.Sprintf("key=%#x", key)
+	}
+	return st
+}
+
+// Negotiate establishes keying material with a peer IKE module (invoked
+// by the co-located IPSec module when its pipe dependency names this IKE
+// instance as provider). The initiator derives the key from both module
+// references so both sides converge deterministically.
+func (k *IKE) Negotiate(peer core.ModuleRef) (uint64, error) {
+	k.mu.Lock()
+	if key, ok := k.keys[peer.String()]; ok {
+		k.mu.Unlock()
+		return key, nil
+	}
+	k.mu.Unlock()
+	if k.Ref().String() < peer.String() {
+		key := deriveKey(k.Ref(), peer)
+		k.mu.Lock()
+		k.keys[peer.String()] = key
+		k.mu.Unlock()
+		if err := k.Svc.Convey(k.Ref(), peer, "ike-sa", ikeMsg{Nonce: key}); err != nil {
+			return 0, err
+		}
+		return key, nil
+	}
+	// Responder side: the key arrives via HandleConvey.
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if key, ok := k.keys[peer.String()]; ok {
+		return key, nil
+	}
+	return 0, device.ErrPending
+}
+
+func deriveKey(a, b core.ModuleRef) uint64 {
+	h := uint64(14695981039346656037)
+	for _, s := range []string{a.String(), b.String()} {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// HandleConvey implements device.Module.
+func (k *IKE) HandleConvey(from core.ModuleRef, kind string, body []byte) error {
+	if kind != "ike-sa" {
+		return nil
+	}
+	var m ikeMsg
+	if err := json.Unmarshal(body, &m); err != nil {
+		return err
+	}
+	k.mu.Lock()
+	k.keys[from.String()] = m.Nonce
+	k.mu.Unlock()
+	if !m.Reply {
+		_ = k.Svc.Convey(k.Ref(), from, "ike-sa", ikeMsg{Nonce: m.Nonce, Reply: true})
+	}
+	k.Svc.Kick()
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+
+// IPSec is a data module offering confidentiality/integrity whose keying
+// state must be provided externally (Fig 1's dependency arrow to IKE).
+type IPSec struct {
+	device.BaseModule
+
+	mu       sync.Mutex
+	upPipes  map[core.PipeID]*device.Pipe
+	dnPipes  map[core.PipeID]*device.Pipe
+	provider core.ModuleRef // IKE instance chosen by the NM
+	saKeys   map[string]uint64
+}
+
+// NewIPSec creates an IPSec module.
+func NewIPSec(svc device.Services, id core.ModuleID) *IPSec {
+	return &IPSec{
+		BaseModule: device.BaseModule{
+			ModRef: core.Ref(core.NameIPSec, svc.Device(), id),
+			Svc:    svc,
+		},
+		upPipes: make(map[core.PipeID]*device.Pipe),
+		dnPipes: make(map[core.PipeID]*device.Pipe),
+		saKeys:  make(map[string]uint64),
+	}
+}
+
+// Abstraction implements device.Module: note the security state
+// dependency — the module can secure traffic but cannot key itself.
+func (s *IPSec) Abstraction() core.Abstraction {
+	return core.Abstraction{
+		Ref:      s.Ref(),
+		Kind:     core.KindData,
+		Up:       core.PipeSpec{Connectable: []core.ModuleName{core.NameIPv4}},
+		Down:     core.PipeSpec{Connectable: []core.ModuleName{core.NameIPv4}},
+		Peerable: []core.ModuleName{core.NameIPSec},
+		Switch: core.SwitchSpec{
+			Modes:       []core.SwitchMode{core.SwUpDown, core.SwDownUp},
+			StateSource: core.StateLocal,
+		},
+		Security: core.SecuritySpec{
+			Integrity:       true,
+			Authenticity:    true,
+			Confidentiality: true,
+			StateDependency: &core.Dependency{
+				Kind:        core.DepExternalState,
+				Token:       IPSecKeyToken,
+				Description: "keying material from a control module (IKE)",
+			},
+		},
+	}
+}
+
+// PipeAttached implements device.Module: the up-pipe's dependency choice
+// must name an IKE provider; the module then asks it for keys.
+func (s *IPSec) PipeAttached(p *device.Pipe, side device.PipeSide) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch side {
+	case device.SideLower:
+		// Find the provider the NM chose for our keying dependency.
+		for _, c := range p.Satisfy {
+			if c.Token == IPSecKeyToken && c.Provider != "" {
+				ref, err := core.ParseModuleRef(c.Provider)
+				if err != nil {
+					return fmt.Errorf("%s: bad provider %q: %v", s.Ref(), c.Provider, err)
+				}
+				s.provider = ref
+			}
+		}
+		if s.provider.IsZero() {
+			return fmt.Errorf("%s: pipe created without an %s provider", s.Ref(), IPSecKeyToken)
+		}
+		s.upPipes[p.ID] = p
+	case device.SideUpper:
+		s.dnPipes[p.ID] = p
+	}
+	return nil
+}
+
+// InstallSwitchRule implements device.Module: binds the SA together once
+// IKE has keys for the peer's IKE instance.
+func (s *IPSec) InstallSwitchRule(r *device.SwitchRuleInstance) error {
+	s.mu.Lock()
+	var up *device.Pipe
+	for _, p := range s.upPipes {
+		if p.ID == r.Rule.From || p.ID == r.Rule.To {
+			up = p
+		}
+	}
+	provider := s.provider
+	s.mu.Unlock()
+	if up == nil {
+		return fmt.Errorf("%s: switch rule pipes not attached", s.Ref())
+	}
+	ike, ok := s.Svc.LocalModule(provider.Module)
+	if !ok {
+		return fmt.Errorf("%s: provider %s not on this device", s.Ref(), provider)
+	}
+	ikeMod, ok := ike.(*IKE)
+	if !ok {
+		return fmt.Errorf("%s: provider %s is not an IKE module", s.Ref(), provider)
+	}
+	// The peer's IKE instance lives on the peer IPSec module's device,
+	// conventionally with the same module id as ours.
+	peerIKE := core.Ref(core.NameIKE, up.LowerPeer.Device, provider.Module)
+	key, err := ikeMod.Negotiate(peerIKE)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.saKeys[up.LowerPeer.String()] = key
+	s.mu.Unlock()
+	s.Svc.Kick()
+	return nil
+}
+
+// SAKey reports the security association key for a peer (tests/operators).
+func (s *IPSec) SAKey(peer core.ModuleRef) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k, ok := s.saKeys[peer.String()]
+	return k, ok
+}
+
+// Actual implements device.Module.
+func (s *IPSec) Actual() core.ModuleState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := core.ModuleState{Ref: s.Ref(), LowLevel: map[string]string{}}
+	for peer, key := range s.saKeys {
+		var kb [8]byte
+		binary.BigEndian.PutUint64(kb[:], key)
+		st.LowLevel["sa-key:"+peer] = fmt.Sprintf("%x", kb)
+	}
+	if !s.provider.IsZero() {
+		st.LowLevel["key-provider"] = s.provider.String()
+	}
+	return st
+}

@@ -1,0 +1,153 @@
+package modules_test
+
+import (
+	"testing"
+
+	"conman/internal/channel"
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+	"conman/internal/modules"
+	"conman/internal/msg"
+	"conman/internal/netsim"
+	"conman/internal/nm"
+)
+
+// TestIPSecIKEControlModuleDependency reproduces Fig 1 / §II-F: the IPSec
+// data module advertises an external-state security dependency; the IKE
+// control module advertises that it provides it; the NM wires the two by
+// naming the provider in the pipe's dependency choice, and the IKE peers
+// negotiate a shared key over the management channel.
+func TestIPSecIKEControlModuleDependency(t *testing.T) {
+	net := netsim.New()
+	hub := channel.NewHub()
+	manager := nm.New()
+	manager.AttachChannel(hub.Endpoint(msg.NMName))
+
+	mk := func(id core.DeviceID) (*device.Device, *modules.IPSec, *modules.IKE) {
+		d, err := device.New(net, id, kernel.RoleRouter, "eth0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipm, err := modules.NewIP(d.MA, "ip", "ISP", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ipm.AllowConnectable(core.NameIPSec)
+		d.AddModule(ipm)
+		sec := modules.NewIPSec(d.MA, "sec")
+		d.AddModule(sec)
+		ike := modules.NewIKE(d.MA, "ike")
+		d.AddModule(ike)
+		d.MA.AttachChannel(hub.Endpoint(string(id)))
+		if err := d.MA.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return d, sec, ike
+	}
+	_, secA, _ := mk("A")
+	_, secB, _ := mk("B")
+
+	// The NM can match the dependency to the provider without protocol
+	// knowledge: token equality between StateDependency and ProvidesState.
+	absA, err := manager.ShowPotential("A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dep *core.Dependency
+	var provider core.ModuleRef
+	for _, a := range absA {
+		if a.Security.StateDependency != nil {
+			dep = a.Security.StateDependency
+		}
+		for _, tok := range a.ProvidesState {
+			if dep != nil && tok == dep.Token {
+				provider = a.Ref
+			}
+		}
+	}
+	if dep == nil || provider.IsZero() {
+		t.Fatalf("dependency/provider matching failed: dep=%v provider=%v", dep, provider)
+	}
+	if provider != core.Ref(core.NameIKE, "A", "ike") {
+		t.Fatalf("provider = %v", provider)
+	}
+
+	// Create the IPSec pipes on both devices, naming the provider.
+	mkPipe := func(dev core.DeviceID, peerDev core.DeviceID, prov core.ModuleRef) {
+		resp, err := manager.ExecuteBatch(dev, []msg.CommandItem{
+			{Pipe: &msg.CreatePipeItem{ID: "P0", Req: core.PipeRequest{
+				Upper:     core.Ref(core.NameIPv4, dev, "ip"),
+				Lower:     core.Ref(core.NameIPSec, dev, "sec"),
+				LowerPeer: core.Ref(core.NameIPSec, peerDev, "sec"),
+				Satisfy: []core.DependencyChoice{{
+					Token: modules.IPSecKeyToken, Provider: prov.String(),
+				}},
+			}}},
+			{Pipe: &msg.CreatePipeItem{ID: "P1", Req: core.PipeRequest{
+				Upper: core.Ref(core.NameIPSec, dev, "sec"),
+				Lower: core.Ref(core.NameIPv4, dev, "ip"),
+			}}},
+			{Switch: &msg.CreateSwitchReq{Rule: core.SwitchRule{
+				Module: core.Ref(core.NameIPSec, dev, "sec"), From: "P0", To: "P1",
+			}}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range resp.Errors {
+			if e != "" {
+				t.Fatalf("%s item %d: %s", dev, i, e)
+			}
+		}
+	}
+	mkPipe("A", "B", core.Ref(core.NameIKE, "A", "ike"))
+	mkPipe("B", "A", core.Ref(core.NameIKE, "B", "ike"))
+
+	// Both sides must have converged on the same SA key, negotiated by
+	// the IKE modules — the NM never saw it.
+	keyA, okA := secA.SAKey(core.Ref(core.NameIPSec, "B", "sec"))
+	keyB, okB := secB.SAKey(core.Ref(core.NameIPSec, "A", "sec"))
+	if !okA || !okB {
+		t.Fatalf("SA keys missing: A=%v B=%v", okA, okB)
+	}
+	if keyA != keyB || keyA == 0 {
+		t.Fatalf("SA keys diverge: %#x vs %#x", keyA, keyB)
+	}
+}
+
+// TestIPSecPipeRequiresProvider checks the dependency is enforced.
+func TestIPSecPipeRequiresProvider(t *testing.T) {
+	net := netsim.New()
+	hub := channel.NewHub()
+	manager := nm.New()
+	manager.AttachChannel(hub.Endpoint(msg.NMName))
+	d, err := device.New(net, "A", kernel.RoleRouter, "eth0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipm, err := modules.NewIP(d.MA, "ip", "ISP", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ipm.AllowConnectable(core.NameIPSec)
+	d.AddModule(ipm)
+	d.AddModule(modules.NewIPSec(d.MA, "sec"))
+	d.MA.AttachChannel(hub.Endpoint("A"))
+	if err := d.MA.Start(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := manager.ExecuteBatch("A", []msg.CommandItem{
+		{Pipe: &msg.CreatePipeItem{ID: "P0", Req: core.PipeRequest{
+			Upper:     core.Ref(core.NameIPv4, "A", "ip"),
+			Lower:     core.Ref(core.NameIPSec, "A", "sec"),
+			LowerPeer: core.Ref(core.NameIPSec, "B", "sec"),
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.OK() {
+		t.Fatal("IPSec pipe without a key provider must be rejected")
+	}
+}

@@ -1,0 +1,535 @@
+package modules
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"strings"
+	"sync"
+
+	"conman/internal/core"
+	"conman/internal/device"
+)
+
+// MPLS models an MPLS module (§III-C). Neighbouring LSRs negotiate labels
+// over the management channel (downstream label allocation: each module
+// allocates the incoming label for traffic arriving from a given
+// neighbour and tells that neighbour). Switch rules translate to the
+// mpls-linux commands of Fig 8(a): labelspace/ilm/nhlfe/xc.
+type MPLS struct {
+	device.BaseModule
+
+	mu        sync.Mutex
+	labelBase uint32
+	labelSeq  uint32
+	upPipes   map[core.PipeID]*device.Pipe
+	dnPipes   map[core.PipeID]*device.Pipe
+	// neighbors holds per-peer label negotiation state keyed by the peer
+	// module's ref string.
+	neighbors map[string]*mplsNeighbor
+	// pushKeys and via per up-pipe expose the ingress handle to the IP
+	// module above ({"mpls-key", "via"}).
+	pushKey string
+	pushVia string
+	// initiatedAny tracks whether we initiated at least one label
+	// exchange: the pure responder at the far end of the LSP reports
+	// "lsp-established" to the NM (Table VI's final received message).
+	initiatedAny bool
+	responded    bool
+	notified     bool
+	modprobed    bool
+	spacesSet    map[string]bool
+	rules        []*device.SwitchRuleInstance
+	// pendingReplies holds label-exchange replies we cannot send yet
+	// because our own pipe toward the requester (and hence our link
+	// address) does not exist yet; flushed on pipe attachment.
+	pendingReplies []core.ModuleRef
+}
+
+type mplsNeighbor struct {
+	// MyInLabel is the label we allocated for traffic arriving from this
+	// neighbour.
+	MyInLabel uint32
+	// PeerInLabel is the label the neighbour allocated for traffic we
+	// send to it.
+	PeerInLabel uint32
+	// PeerLinkAddr is the neighbour's IP address on the shared link (the
+	// NHLFE next hop).
+	PeerLinkAddr netip.Addr
+	HavePeer     bool
+}
+
+// mplsLabelMsg is the convey body of the label exchange.
+type mplsLabelMsg struct {
+	// Label is the sender's incoming label for traffic from the
+	// receiver.
+	Label uint32 `json:"label"`
+	// LinkAddr is the sender's address on the shared link.
+	LinkAddr string `json:"link_addr"`
+	Reply    bool   `json:"reply"`
+}
+
+// NewMPLS creates an MPLS module. labelBase seeds this LSR's label
+// allocator (the Fig 8 experiment uses 10001 on A, 2001 on B, 3001 on C).
+func NewMPLS(svc device.Services, id core.ModuleID, labelBase uint32) *MPLS {
+	return &MPLS{
+		BaseModule: device.BaseModule{
+			ModRef: core.Ref(core.NameMPLS, svc.Device(), id),
+			Svc:    svc,
+		},
+		labelBase: labelBase,
+		upPipes:   make(map[core.PipeID]*device.Pipe),
+		dnPipes:   make(map[core.PipeID]*device.Pipe),
+		neighbors: make(map[string]*mplsNeighbor),
+		spacesSet: make(map[string]bool),
+	}
+}
+
+// Abstraction implements device.Module (Table IV's MPLS row).
+func (m *MPLS) Abstraction() core.Abstraction {
+	return core.Abstraction{
+		Ref:      m.Ref(),
+		Kind:     core.KindData,
+		Up:       core.PipeSpec{Connectable: []core.ModuleName{core.NameIPv4}},
+		Down:     core.PipeSpec{Connectable: []core.ModuleName{core.NameETH}},
+		Peerable: []core.ModuleName{core.NameMPLS},
+		Switch: core.SwitchSpec{
+			Modes: []core.SwitchMode{
+				core.SwDownUp, core.SwUpDown, core.SwDownDown,
+			},
+			StateSource: core.StateLocal,
+		},
+		PerfReporting: []string{"rx-packets/pipe", "tx-packets/pipe"},
+		// The path selector prefers MPLS because the abstraction
+		// advertises good forwarding bandwidth (§III-C.1).
+		Attributes: map[string]string{"forwarding": "fast"},
+	}
+}
+
+// Actual implements device.Module.
+func (m *MPLS) Actual() core.ModuleState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := core.ModuleState{Ref: m.Ref(), LowLevel: map[string]string{}}
+	for id, p := range m.upPipes {
+		st.Pipes = append(st.Pipes, core.PipeState{ID: id, End: core.EndUp, Other: p.Upper, Peer: p.LowerPeer, Status: p.Status})
+	}
+	for id, p := range m.dnPipes {
+		st.Pipes = append(st.Pipes, core.PipeState{ID: id, End: core.EndDown, Other: p.Lower, Peer: p.UpperPeer, Status: p.Status})
+	}
+	for peer, n := range m.neighbors {
+		st.LowLevel["labels:"+peer] = fmt.Sprintf("in=%d out=%d nexthop=%s", n.MyInLabel, n.PeerInLabel, n.PeerLinkAddr)
+	}
+	if m.pushKey != "" {
+		st.LowLevel["nhlfe-key"] = m.pushKey
+	}
+	for _, r := range m.rules {
+		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{ID: r.ID, From: r.Rule.From, To: r.Rule.To})
+	}
+	return st
+}
+
+// PipeAttached implements device.Module: a down pipe with a known MPLS
+// peer triggers the label exchange (initiator = smaller ref).
+func (m *MPLS) PipeAttached(p *device.Pipe, side device.PipeSide) error {
+	var (
+		send bool
+		peer core.ModuleRef
+		body mplsLabelMsg
+	)
+	m.mu.Lock()
+	switch side {
+	case device.SideLower:
+		m.upPipes[p.ID] = p
+	case device.SideUpper:
+		m.dnPipes[p.ID] = p
+		peer = p.UpperPeer
+		if !peer.IsZero() && peer.Name == core.NameMPLS {
+			key := peer.String()
+			if _, have := m.neighbors[key]; !have && m.Ref().String() < key {
+				n := &mplsNeighbor{MyInLabel: m.labelBase + m.labelSeq}
+				m.labelSeq++
+				m.neighbors[key] = n
+				m.initiatedAny = true
+				body = mplsLabelMsg{Label: n.MyInLabel, LinkAddr: m.linkAddrLocked(p)}
+				send = true
+			}
+		}
+	}
+	m.mu.Unlock()
+	if send {
+		_ = m.Svc.Convey(m.Ref(), peer, "mpls-label", body)
+	}
+	m.flushReplies()
+	return nil
+}
+
+// linkAddrLocked finds this device's address on the link under the given
+// down pipe. Caller holds m.mu (only reads kernel state).
+func (m *MPLS) linkAddrLocked(p *device.Pipe) string {
+	lower, ok := m.Svc.LocalModule(p.Lower.Module)
+	if !ok {
+		return ""
+	}
+	fields, err := lower.ListFields(string(p.ID))
+	if err != nil || fields["dev"] == "" {
+		return ""
+	}
+	if a, ok := m.Svc.Kernel().AddrOf(fields["dev"]); ok {
+		return a.String()
+	}
+	return ""
+}
+
+// PipeDeleted implements device.Module.
+func (m *MPLS) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.upPipes, p.ID)
+	delete(m.dnPipes, p.ID)
+	return nil
+}
+
+// HandleConvey implements device.Module: the label exchange.
+func (m *MPLS) HandleConvey(from core.ModuleRef, kind string, body []byte) error {
+	if kind != "mpls-label" {
+		return nil
+	}
+	var x mplsLabelMsg
+	if err := json.Unmarshal(body, &x); err != nil {
+		return err
+	}
+	addr, _ := netip.ParseAddr(x.LinkAddr)
+
+	var (
+		reply bool
+		resp  mplsLabelMsg
+	)
+	m.mu.Lock()
+	key := from.String()
+	n, have := m.neighbors[key]
+	if !have {
+		// We are the responder: allocate our own in-label now.
+		n = &mplsNeighbor{MyInLabel: m.labelBase + m.labelSeq}
+		m.labelSeq++
+		m.neighbors[key] = n
+		m.responded = true
+	}
+	n.PeerInLabel = x.Label
+	n.PeerLinkAddr = addr
+	n.HavePeer = true
+	if !x.Reply {
+		// Find our down pipe toward this neighbour for our link address.
+		// If that pipe does not exist yet (the NM configures devices in
+		// path order, so the requester's batch usually precedes ours),
+		// defer the reply until it does.
+		var linkAddr string
+		for _, p := range m.dnPipes {
+			if p.UpperPeer == from {
+				linkAddr = m.linkAddrLocked(p)
+				break
+			}
+		}
+		if linkAddr == "" {
+			m.pendingReplies = append(m.pendingReplies, from)
+		} else {
+			resp = mplsLabelMsg{Label: n.MyInLabel, LinkAddr: linkAddr, Reply: true}
+			reply = true
+		}
+	}
+	m.mu.Unlock()
+	if reply {
+		_ = m.Svc.Convey(m.Ref(), from, "mpls-label", resp)
+	}
+	m.Svc.Kick()
+	return nil
+}
+
+// flushReplies sends label-exchange replies that were waiting for our own
+// pipes to exist.
+func (m *MPLS) flushReplies() {
+	type outMsg struct {
+		to   core.ModuleRef
+		body mplsLabelMsg
+	}
+	var outs []outMsg
+	m.mu.Lock()
+	var still []core.ModuleRef
+	for _, peer := range m.pendingReplies {
+		var linkAddr string
+		for _, p := range m.dnPipes {
+			if p.UpperPeer == peer {
+				linkAddr = m.linkAddrLocked(p)
+				break
+			}
+		}
+		if linkAddr == "" {
+			still = append(still, peer)
+			continue
+		}
+		n := m.neighbors[peer.String()]
+		if n == nil {
+			continue
+		}
+		outs = append(outs, outMsg{peer, mplsLabelMsg{Label: n.MyInLabel, LinkAddr: linkAddr, Reply: true}})
+	}
+	m.pendingReplies = still
+	m.mu.Unlock()
+	for _, o := range outs {
+		_ = m.Svc.Convey(m.Ref(), o.to, "mpls-label", o.body)
+	}
+}
+
+// neighborFor returns negotiation state for the peer across a down pipe.
+func (m *MPLS) neighborFor(p *device.Pipe) (*mplsNeighbor, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n, ok := m.neighbors[p.UpperPeer.String()]
+	return n, ok
+}
+
+// InstallSwitchRule implements device.Module. Two shapes:
+//
+//   - edge ([up-pipe <=> down-pipe]): ingress NHLFE pushing the
+//     neighbour's label (handle exposed to the IP module above) plus the
+//     egress ILM delivering popped traffic to the customer gateway
+//     (learned from the IP module above).
+//   - transit ([down-pipe <=> down-pipe], Fig 8's router B): two
+//     ILM->NHLFE swaps, one per direction.
+func (m *MPLS) InstallSwitchRule(r *device.SwitchRuleInstance) error {
+	m.mu.Lock()
+	fromUp, fromIsUp := m.upPipes[r.Rule.From]
+	toUp, toIsUp := m.upPipes[r.Rule.To]
+	fromDn, fromIsDn := m.dnPipes[r.Rule.From]
+	toDn, toIsDn := m.dnPipes[r.Rule.To]
+	m.mu.Unlock()
+
+	switch {
+	case fromIsUp && toIsDn:
+		return m.installEdge(r, fromUp, toDn)
+	case toIsUp && fromIsDn:
+		return m.installEdge(r, toUp, fromDn)
+	case fromIsDn && toIsDn:
+		return m.installTransit(r, fromDn, toDn)
+	default:
+		return fmt.Errorf("%s: switch rule pipes not attached to this module", m.Ref())
+	}
+}
+
+// ensureBase loads the MPLS kernel modules and sets the labelspace on an
+// interface once.
+func (m *MPLS) ensureBase(dev string) error {
+	k := m.Svc.Kernel()
+	m.mu.Lock()
+	needProbe := !m.modprobed
+	m.modprobed = true
+	needSpace := !m.spacesSet[dev]
+	m.spacesSet[dev] = true
+	m.mu.Unlock()
+	if needProbe {
+		if _, err := k.ExecScript("modprobe mpls\nmodprobe mpls4"); err != nil {
+			return err
+		}
+	}
+	if needSpace {
+		if _, err := k.Exec(fmt.Sprintf("mpls labelspace set dev %s labelspace 0", dev)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// devUnder resolves the kernel interface below a down pipe.
+func (m *MPLS) devUnder(p *device.Pipe) (string, error) {
+	lower, ok := m.Svc.LocalModule(p.Lower.Module)
+	if !ok {
+		return "", fmt.Errorf("%s: no lower module %s", m.Ref(), p.Lower)
+	}
+	fields, err := lower.ListFields(string(p.ID))
+	if err != nil {
+		return "", err
+	}
+	if fields["dev"] == "" {
+		return "", device.ErrPending
+	}
+	return fields["dev"], nil
+}
+
+func (m *MPLS) installEdge(r *device.SwitchRuleInstance, up, dn *device.Pipe) error {
+	n, ok := m.neighborFor(dn)
+	if !ok || !n.HavePeer {
+		return device.ErrPending
+	}
+	dev, err := m.devUnder(dn)
+	if err != nil {
+		return err
+	}
+	// Customer delivery next hop comes from the IP module above, which
+	// learns it from its own [pipe => customer, gateway] rule.
+	upper, ok := m.Svc.LocalModule(up.Upper.Module)
+	if !ok {
+		return fmt.Errorf("%s: no upper module %s", m.Ref(), up.Upper)
+	}
+	delivery, err := upper.ListFields("delivery")
+	if err != nil {
+		return err
+	}
+	if delivery["via"] == "" || delivery["dev"] == "" {
+		return device.ErrPending
+	}
+	if err := m.ensureBase(dev); err != nil {
+		return err
+	}
+	k := m.Svc.Kernel()
+
+	// Egress: pop our in-label, deliver to the customer gateway
+	// (Fig 8a's "MPLS LSP for traffic from S2->S1" block).
+	if _, err := k.Exec(fmt.Sprintf("mpls ilm add label gen %d labelspace 0", n.MyInLabel)); err != nil {
+		return err
+	}
+	out, err := k.Exec(fmt.Sprintf("mpls nhlfe add key 0 mtu 1500 instructions nexthop %s ipv4 %s",
+		delivery["dev"], delivery["via"]))
+	if err != nil {
+		return err
+	}
+	egressKey := extractNHLFEKey(out)
+	if _, err := k.Exec(fmt.Sprintf("mpls xc add ilm label gen %d ilm labelspace 0 nhlfe key %s",
+		n.MyInLabel, egressKey)); err != nil {
+		return err
+	}
+
+	// Ingress: NHLFE pushing the neighbour's label (Fig 8a's
+	// "MPLS LSP for traffic from S1->S2" block). The IP module above
+	// fetches the key via listFields("pipe:<up>") and emits the route.
+	out, err = k.Exec(fmt.Sprintf("mpls nhlfe add key 0 mtu 1500 instructions push gen %d nexthop %s ipv4 %s",
+		n.PeerInLabel, dev, n.PeerLinkAddr))
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.pushKey = extractNHLFEKey(out)
+	m.pushVia = n.PeerLinkAddr.String()
+	m.rules = append(m.rules, r)
+	notify := m.responded && !m.initiatedAny && !m.notified
+	if notify {
+		m.notified = true
+	}
+	m.mu.Unlock()
+
+	if notify {
+		// Pure responder (the far end of the LSP): report establishment
+		// to the NM — the single unsolicited "received" message in the
+		// paper's Table VI accounting for MPLS/VLAN.
+		_ = m.Svc.Notify(m.Ref(), "lsp-established", "egress configured")
+	}
+	m.Svc.Kick()
+	return nil
+}
+
+func (m *MPLS) installTransit(r *device.SwitchRuleInstance, a, b *device.Pipe) error {
+	na, okA := m.neighborFor(a)
+	nb, okB := m.neighborFor(b)
+	if !okA || !okB || !na.HavePeer || !nb.HavePeer {
+		return device.ErrPending
+	}
+	devA, err := m.devUnder(a)
+	if err != nil {
+		return err
+	}
+	devB, err := m.devUnder(b)
+	if err != nil {
+		return err
+	}
+	if err := m.ensureBase(devA); err != nil {
+		return err
+	}
+	if err := m.ensureBase(devB); err != nil {
+		return err
+	}
+	k := m.Svc.Kernel()
+	// Direction A->B: traffic from neighbour A arrives with our in-label
+	// allocated for A, is swapped to B's in-label.
+	swap := func(in *mplsNeighbor, out *mplsNeighbor, outDev string) error {
+		if _, err := k.Exec(fmt.Sprintf("mpls ilm add label gen %d labelspace 0", in.MyInLabel)); err != nil {
+			return err
+		}
+		o, err := k.Exec(fmt.Sprintf("mpls nhlfe add key 0 mtu 1500 instructions push gen %d nexthop %s ipv4 %s",
+			out.PeerInLabel, outDev, out.PeerLinkAddr))
+		if err != nil {
+			return err
+		}
+		return execErr(k.Exec(fmt.Sprintf("mpls xc add ilm label gen %d ilm labelspace 0 nhlfe key %s",
+			in.MyInLabel, extractNHLFEKey(o))))
+	}
+	if err := swap(na, nb, devB); err != nil {
+		return err
+	}
+	if err := swap(nb, na, devA); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	m.rules = append(m.rules, r)
+	m.mu.Unlock()
+	m.Svc.Kick()
+	return nil
+}
+
+func execErr(_ string, err error) error { return err }
+
+// extractNHLFEKey pulls the 0x-prefixed key out of `mpls nhlfe add`
+// output (the script does it with `grep key | cut -c 17-26`).
+func extractNHLFEKey(out string) string {
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "key") && len(line) >= 26 {
+			return line[16:26]
+		}
+	}
+	return ""
+}
+
+// ListFields implements device.Module: the ingress handle for the IP
+// module above.
+func (m *MPLS) ListFields(component string) (map[string]string, error) {
+	comp := strings.TrimPrefix(component, "pipe:")
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.upPipes[core.PipeID(comp)]; ok || comp == "self" {
+		out := map[string]string{}
+		if m.pushKey != "" {
+			out["mpls-key"] = m.pushKey
+			out["via"] = m.pushVia
+		}
+		return out, nil
+	}
+	if _, ok := m.dnPipes[core.PipeID(comp)]; ok {
+		return map[string]string{}, nil
+	}
+	return nil, fmt.Errorf("%s: unknown component %q", m.Ref(), component)
+}
+
+// SelfTest implements device.Module: verifies the neighbour's link
+// address answers probes.
+func (m *MPLS) SelfTest(pipe core.PipeID) (bool, string) {
+	m.mu.Lock()
+	p, ok := m.dnPipes[pipe]
+	m.mu.Unlock()
+	if !ok {
+		return false, fmt.Sprintf("no down pipe %s", pipe)
+	}
+	n, okN := m.neighborFor(p)
+	if !okN || !n.HavePeer {
+		return false, "labels not negotiated"
+	}
+	k := m.Svc.Kernel()
+	token := probeToken()
+	before := len(k.ProbeReplies())
+	if err := k.SendProbe(n.PeerLinkAddr, token); err != nil {
+		return false, err.Error()
+	}
+	for _, tok := range k.ProbeReplies()[before:] {
+		if tok == token {
+			return true, fmt.Sprintf("neighbour %s reachable", n.PeerLinkAddr)
+		}
+	}
+	return false, fmt.Sprintf("neighbour %s unreachable", n.PeerLinkAddr)
+}

@@ -1,0 +1,257 @@
+package modules
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+
+	"conman/internal/core"
+	"conman/internal/device"
+)
+
+// VLAN models the 802.1Q VLAN module on an L2 switch (Fig 9). The VLAN
+// identifier, name and MTU are coordinated hop-by-hop between neighbouring
+// VLAN modules through the management channel (the endpoint module with
+// the smaller reference allocates them); switch rules then translate to
+// the CatOS `set vlan` definition, while the ETH module emits the port
+// configuration.
+type VLAN struct {
+	device.BaseModule
+
+	mu sync.Mutex
+	// vidBase seeds the allocator (the Fig 9 experiment uses 22).
+	vidBase uint16
+	vid     uint16
+	name    string
+	mtu     int
+
+	endpoint     bool // has a customer-facing pipe (P1-style)
+	farPeer      core.ModuleRef
+	pipes        map[core.PipeID]*device.Pipe
+	sides        map[core.PipeID]device.PipeSide
+	pendingPeers []core.ModuleRef // exchanges waiting for the VID
+	exchanged    map[string]bool
+	initiatedAny bool
+	responded    bool
+	notified     bool
+	rules        []*device.SwitchRuleInstance
+	defEmitted   bool
+}
+
+// vlanMsg is the convey body of the VID coordination.
+type vlanMsg struct {
+	VID   uint16 `json:"vid"`
+	Name  string `json:"name"`
+	MTU   int    `json:"mtu"`
+	Reply bool   `json:"reply"`
+}
+
+// NewVLAN creates a VLAN module. name/mtu are used when this module ends
+// up allocating the VLAN (customer name "C1", MTU 1504 in Fig 9).
+func NewVLAN(svc device.Services, id core.ModuleID, vidBase uint16, name string, mtu int) *VLAN {
+	return &VLAN{
+		BaseModule: device.BaseModule{
+			ModRef: core.Ref(core.NameVLAN, svc.Device(), id),
+			Svc:    svc,
+		},
+		vidBase:   vidBase,
+		name:      name,
+		mtu:       mtu,
+		pipes:     make(map[core.PipeID]*device.Pipe),
+		sides:     make(map[core.PipeID]device.PipeSide),
+		exchanged: make(map[string]bool),
+	}
+}
+
+// Abstraction implements device.Module.
+func (v *VLAN) Abstraction() core.Abstraction {
+	return core.Abstraction{
+		Ref:      v.Ref(),
+		Kind:     core.KindData,
+		Up:       core.PipeSpec{Connectable: []core.ModuleName{core.NameETH}},
+		Down:     core.PipeSpec{Connectable: []core.ModuleName{core.NameETH}},
+		Peerable: []core.ModuleName{core.NameVLAN},
+		Switch: core.SwitchSpec{
+			Modes: []core.SwitchMode{
+				core.SwUpDown, core.SwDownUp, core.SwDownDown,
+			},
+			StateSource: core.StateLocal,
+		},
+		PerfReporting: []string{"rx-packets/pipe", "tx-packets/pipe"},
+	}
+}
+
+// Actual implements device.Module.
+func (v *VLAN) Actual() core.ModuleState {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	st := core.ModuleState{Ref: v.Ref(), LowLevel: map[string]string{}}
+	if v.vid != 0 {
+		st.LowLevel["vid"] = fmt.Sprintf("%d", v.vid)
+		st.LowLevel["vlan-name"] = v.name
+		st.LowLevel["mtu"] = fmt.Sprintf("%d", v.mtu)
+	}
+	for id, p := range v.pipes {
+		end := core.EndDown
+		peer := p.UpperPeer
+		if v.sides[id] == device.SideLower {
+			end = core.EndUp
+			peer = p.LowerPeer
+		}
+		st.Pipes = append(st.Pipes, core.PipeState{ID: id, End: end, Peer: peer, Status: p.Status})
+	}
+	for _, r := range v.rules {
+		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{ID: r.ID, From: r.Rule.From, To: r.Rule.To})
+	}
+	return st
+}
+
+// PipeAttached implements device.Module.
+func (v *VLAN) PipeAttached(p *device.Pipe, side device.PipeSide) error {
+	v.mu.Lock()
+	v.pipes[p.ID] = p
+	v.sides[p.ID] = side
+
+	var myPeer core.ModuleRef
+	if side == device.SideLower {
+		myPeer = p.LowerPeer
+	} else {
+		myPeer = p.UpperPeer
+	}
+	if !myPeer.IsZero() && myPeer.Name == core.NameVLAN {
+		if side == device.SideLower {
+			// P1-style endpoint pipe (ETH above us, far VLAN peer): if
+			// we are the smaller endpoint we allocate the VLAN.
+			v.endpoint = true
+			v.farPeer = myPeer
+			if v.Ref().String() < myPeer.String() && v.vid == 0 {
+				v.vid = v.vidBase
+			}
+		} else {
+			// P2-style neighbour pipe: coordinate the VID hop-by-hop.
+			if v.Ref().String() < myPeer.String() && !v.exchanged[myPeer.String()] {
+				v.pendingPeers = append(v.pendingPeers, myPeer)
+			}
+		}
+	}
+	v.mu.Unlock()
+	v.tryExchanges()
+	return nil
+}
+
+// tryExchanges sends VID coordination messages for which the VID is known.
+func (v *VLAN) tryExchanges() {
+	for {
+		v.mu.Lock()
+		if v.vid == 0 || len(v.pendingPeers) == 0 {
+			v.mu.Unlock()
+			return
+		}
+		peer := v.pendingPeers[0]
+		v.pendingPeers = v.pendingPeers[1:]
+		if v.exchanged[peer.String()] {
+			v.mu.Unlock()
+			continue
+		}
+		v.exchanged[peer.String()] = true
+		v.initiatedAny = true
+		body := vlanMsg{VID: v.vid, Name: v.name, MTU: v.mtu}
+		v.mu.Unlock()
+		_ = v.Svc.Convey(v.Ref(), peer, "vlan-vid", body)
+	}
+}
+
+// PipeDeleted implements device.Module.
+func (v *VLAN) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	delete(v.pipes, p.ID)
+	delete(v.sides, p.ID)
+	return nil
+}
+
+// HandleConvey implements device.Module.
+func (v *VLAN) HandleConvey(from core.ModuleRef, kind string, body []byte) error {
+	if kind != "vlan-vid" {
+		return nil
+	}
+	var x vlanMsg
+	if err := json.Unmarshal(body, &x); err != nil {
+		return err
+	}
+	var reply bool
+	v.mu.Lock()
+	if v.vid == 0 {
+		v.vid = x.VID
+		v.name = x.Name
+		v.mtu = x.MTU
+	}
+	if !x.Reply {
+		v.responded = true
+		reply = true
+	}
+	v.exchanged[from.String()] = true
+	resp := vlanMsg{VID: v.vid, Name: v.name, MTU: v.mtu, Reply: true}
+	v.mu.Unlock()
+	if reply {
+		_ = v.Svc.Convey(v.Ref(), from, "vlan-vid", resp)
+	}
+	v.tryExchanges()
+	v.Svc.Kick()
+	return nil
+}
+
+// InstallSwitchRule implements device.Module: emits the CatOS VLAN
+// definition once the VID is settled (`set vlan 22 name C1 mtu 1504`).
+func (v *VLAN) InstallSwitchRule(r *device.SwitchRuleInstance) error {
+	v.mu.Lock()
+	vid, name, mtu := v.vid, v.name, v.mtu
+	v.mu.Unlock()
+	if vid == 0 {
+		return device.ErrPending
+	}
+	v.mu.Lock()
+	emit := !v.defEmitted
+	v.defEmitted = true
+	v.mu.Unlock()
+	if emit {
+		cmd := fmt.Sprintf("set vlan %d name %s mtu %d", vid, name, mtu)
+		if _, err := v.Svc.Kernel().Exec(cmd); err != nil {
+			return err
+		}
+	}
+	v.mu.Lock()
+	v.rules = append(v.rules, r)
+	notify := v.responded && !v.initiatedAny && !v.notified
+	if notify {
+		v.notified = true
+	}
+	v.mu.Unlock()
+	if notify {
+		// Far-end pure responder: report establishment (Table VI's one
+		// unsolicited received message).
+		_ = v.Svc.Notify(v.Ref(), "vlan-established", fmt.Sprintf("vid %d configured", vid))
+	}
+	// The ETH module's port rules may be waiting on our VID.
+	v.Svc.Kick()
+	return nil
+}
+
+// ListFields implements device.Module: the negotiated VLAN parameters for
+// the co-located ETH module.
+func (v *VLAN) ListFields(component string) (map[string]string, error) {
+	comp := strings.TrimPrefix(component, "pipe:")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if comp == "self" || v.pipes[core.PipeID(comp)] != nil {
+		out := map[string]string{}
+		if v.vid != 0 {
+			out["vid"] = fmt.Sprintf("%d", v.vid)
+			out["vlan-name"] = v.name
+			out["mtu"] = fmt.Sprintf("%d", v.mtu)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("%s: unknown component %q", v.Ref(), component)
+}

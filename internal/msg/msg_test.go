@@ -1,0 +1,133 @@
+package msg
+
+import (
+	"testing"
+
+	"conman/internal/core"
+)
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	env, err := New(TypeHello, "A", NMName, 7, Hello{Device: "A"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := env.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != TypeHello || back.From != "A" || back.To != NMName || back.ID != 7 {
+		t.Fatalf("envelope %+v", back)
+	}
+	var h Hello
+	if err := back.Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Device != "A" {
+		t.Fatalf("hello %+v", h)
+	}
+}
+
+func TestUnmarshalError(t *testing.T) {
+	if _, err := Unmarshal([]byte("{nonsense")); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDecodeError(t *testing.T) {
+	env := MustNew(TypeHello, "A", NMName, 0, Hello{Device: "A"})
+	var wrong []int
+	if err := env.Decode(&wrong); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestErrorf(t *testing.T) {
+	req := MustNew(TypeShowPotentialReq, NMName, "A", 42, nil)
+	resp := Errorf(req, "A", "boom %d", 9)
+	if resp.Type != TypeError || resp.To != NMName || resp.ID != 42 {
+		t.Fatalf("error envelope %+v", resp)
+	}
+	var e Error
+	if err := resp.Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Message != "boom 9" {
+		t.Fatalf("message %q", e.Message)
+	}
+}
+
+func TestCommandBatchBodies(t *testing.T) {
+	batch := CommandBatchReq{Items: []CommandItem{
+		{Pipe: &CreatePipeItem{ID: "P0", Req: core.PipeRequest{
+			Upper: core.Ref(core.NameIPv4, "A", "g"),
+			Lower: core.Ref(core.NameETH, "A", "a"),
+		}}},
+		{Switch: &CreateSwitchReq{Rule: core.SwitchRule{
+			Module: core.Ref(core.NameIPv4, "A", "g"), From: "P0", To: "P1",
+		}}},
+	}}
+	env := MustNew(TypeCommandBatchReq, NMName, "A", 1, batch)
+	var back CommandBatchReq
+	if err := env.Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Items) != 2 || back.Items[0].Pipe == nil || back.Items[1].Switch == nil {
+		t.Fatalf("batch %+v", back)
+	}
+	if back.Items[0].Pipe.ID != "P0" {
+		t.Fatalf("pipe id %q", back.Items[0].Pipe.ID)
+	}
+}
+
+func TestCommandBatchRespOK(t *testing.T) {
+	ok := CommandBatchResp{Errors: []string{"", "", ""}}
+	if !ok.OK() {
+		t.Error("all-empty should be OK")
+	}
+	bad := CommandBatchResp{Errors: []string{"", "x"}}
+	if bad.OK() {
+		t.Error("error present should not be OK")
+	}
+}
+
+func TestConveyBodyPassThrough(t *testing.T) {
+	c := Convey{
+		FromModule: core.Ref(core.NameGRE, "A", "l"),
+		ToModule:   core.Ref(core.NameGRE, "C", "n"),
+		Kind:       "gre-params",
+		Body:       []byte(`{"my_ikey":1001}`),
+	}
+	env := MustNew(TypeConvey, "A", NMName, 0, c)
+	var back Convey
+	if err := env.Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Kind != "gre-params" || string(back.Body) != `{"my_ikey":1001}` {
+		t.Fatalf("convey %+v", back)
+	}
+}
+
+func TestTopologyBody(t *testing.T) {
+	top := Topology{Device: "A", Ports: []PortReport{
+		{Name: "eth1", Attached: true, External: true},
+		{Name: "eth2", Attached: true, PeerDevice: "B", PeerPort: "eth0"},
+	}}
+	env := MustNew(TypeTopology, "A", NMName, 0, top)
+	var back Topology
+	if err := env.Decode(&back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Ports) != 2 || back.Ports[1].PeerDevice != "B" || !back.Ports[0].External {
+		t.Fatalf("topology %+v", back)
+	}
+}
+
+func TestNewRejectsUnmarshalable(t *testing.T) {
+	if _, err := New(TypeHello, "A", "B", 0, make(chan int)); err == nil {
+		t.Fatal("want marshal error")
+	}
+}

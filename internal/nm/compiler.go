@@ -1,0 +1,305 @@
+package nm
+
+import (
+	"fmt"
+	"strings"
+
+	"conman/internal/core"
+	"conman/internal/msg"
+)
+
+// Goal is the NM-internal form of a high-level connectivity goal:
+// "configure connectivity between the customer-facing interfaces From and
+// To for traffic between FromDomain and ToDomain" (§III-C).
+type Goal struct {
+	From, To      core.ModuleRef
+	FromDomain    string // e.g. "C1-S1"
+	ToDomain      string // e.g. "C1-S2"
+	FromGateway   string // abstract token, e.g. "S1-gateway"
+	ToGateway     string // e.g. "S2-gateway"
+	TrafficDomain string // e.g. "C1"
+	Tradeoffs     []core.Tradeoff
+	// TagClassified marks the customer-side classification on L2
+	// endpoints ("Tagged" in Fig 9b).
+	TagClassified bool
+}
+
+// DefaultTradeoffs are the paper's choices for the GRE pipe: in-order
+// delivery and low error-rate (Fig 7b command (2)).
+func DefaultTradeoffs() []core.Tradeoff {
+	return []core.Tradeoff{
+		{Give: []core.Metric{core.MetricJitter, core.MetricDelay}, Get: []core.Metric{core.MetricOrdering}, Scope: core.EndUp},
+		{Give: []core.Metric{core.MetricLossRate}, Get: []core.Metric{core.MetricErrorRate}, Scope: core.EndUp},
+	}
+}
+
+// DeviceScript is the compiled per-device command batch plus its
+// paper-style rendering.
+type DeviceScript struct {
+	Device   core.DeviceID
+	Items    []msg.CommandItem
+	Rendered []string
+}
+
+// Script renders the batch as the figures print it.
+func (d DeviceScript) Script() string { return strings.Join(d.Rendered, "\n") }
+
+type compiledPipe struct {
+	id           core.PipeID
+	device       core.DeviceID
+	upper, lower *Node
+	upperPeer    core.ModuleRef
+	lowerPeer    core.ModuleRef
+	deps         []core.DependencyChoice
+	emitted      bool
+}
+
+// Compile translates a chosen path into per-device CONMan command batches
+// (the algorithmically generated scripts of Figs 7b/8b/9b). The NM
+// resolves its own abstract tokens (domains, gateways) into
+// MatchResolved/ViaResolved; everything else stays abstract.
+func (n *NM) Compile(path *Path, goal Goal) ([]DeviceScript, error) {
+	if len(path.Hops) < 2 {
+		return nil, fmt.Errorf("nm: path too short to compile")
+	}
+	if len(goal.Tradeoffs) == 0 {
+		goal.Tradeoffs = DefaultTradeoffs()
+	}
+
+	// 1. Materialise pipes at each co-located transition.
+	pipeSeq := map[core.DeviceID]int{}
+	entryPipe := make([]*compiledPipe, len(path.Hops)) // pipe the hop was entered through
+	exitPipe := make([]*compiledPipe, len(path.Hops))
+	var pipes []*compiledPipe
+	for i := 0; i < len(path.Hops)-1; i++ {
+		hop, next := path.Hops[i], path.Hops[i+1]
+		if hop.ExitVia == nil {
+			continue // physical transition
+		}
+		dev := hop.Node.Ref.Device
+		var upper, lower *Node
+		if hop.Mode.To == core.EndDown {
+			upper, lower = hop.Node, next.Node
+		} else {
+			upper, lower = next.Node, hop.Node
+		}
+		cp := &compiledPipe{
+			id:     core.PipeID(fmt.Sprintf("P%d", pipeSeq[dev])),
+			device: dev,
+			upper:  upper, lower: lower,
+		}
+		pipeSeq[dev]++
+		// Peers from the group roles.
+		upperHop, lowerHop := i, i+1
+		if upper != hop.Node {
+			upperHop, lowerHop = i+1, i
+		}
+		cp.upperPeer = n.peerFor(path, upperHop, upperHop != i)
+		cp.lowerPeer = n.peerFor(path, lowerHop, lowerHop != i)
+		// Dependencies: any declared for this pipe get the goal's
+		// trade-off choices.
+		if len(lower.Abs.Up.Dependencies) > 0 || len(upper.Abs.Down.Dependencies) > 0 {
+			for _, t := range goal.Tradeoffs {
+				cp.deps = append(cp.deps, core.DependencyChoice{Tradeoff: t.Key()})
+			}
+		}
+		pipes = append(pipes, cp)
+		exitPipe[i] = cp
+		entryPipe[i+1] = cp
+	}
+	_ = pipes
+
+	// 2. Identify the customer-edge IP hops (first and last members of
+	// the external IP group) for the classified rules.
+	startEdge, goalEdge := -1, -1
+	for _, g := range path.Groups {
+		if g.External && canon(g.Protocol) == core.NameIPv4 && len(g.Members) > 0 {
+			startEdge = g.Members[0]
+			goalEdge = g.Members[len(g.Members)-1]
+		}
+	}
+
+	// 3. Emit per-device scripts in hop order.
+	var out []DeviceScript
+	scriptOf := map[core.DeviceID]int{}
+	getScript := func(dev core.DeviceID) *DeviceScript {
+		if idx, ok := scriptOf[dev]; ok {
+			return &out[idx]
+		}
+		out = append(out, DeviceScript{Device: dev})
+		scriptOf[dev] = len(out) - 1
+		return &out[len(out)-1]
+	}
+
+	emitPipe := func(ds *DeviceScript, cp *compiledPipe) {
+		if cp == nil || cp.emitted {
+			return
+		}
+		cp.emitted = true
+		req := core.PipeRequest{
+			Upper: cp.upper.Ref, Lower: cp.lower.Ref,
+			UpperPeer: cp.upperPeer, LowerPeer: cp.lowerPeer,
+			Satisfy: cp.deps,
+		}
+		ds.Items = append(ds.Items, msg.CommandItem{Pipe: &msg.CreatePipeItem{ID: cp.id, Req: req}})
+		ds.Rendered = append(ds.Rendered, renderPipe(cp))
+	}
+
+	for i := range path.Hops {
+		hop := &path.Hops[i]
+		dev := hop.Node.Ref.Device
+		ds := getScript(dev)
+		emitPipe(ds, entryPipe[i])
+		emitPipe(ds, exitPipe[i])
+
+		entryRef := refOf(entryPipe[i], hop.EntryPhys)
+		exitRef := refOf(exitPipe[i], hop.ExitPhys)
+
+		switch {
+		case i == startEdge:
+			prefix, _ := n.ResolveDomain(goal.ToDomain)
+			gw, _ := n.ResolveGateway(goal.FromGateway)
+			n.emitClassified(ds, hop.Node.Ref, entryRef, exitRef,
+				goal.ToDomain, prefix, goal.FromGateway, gw)
+		case i == goalEdge:
+			prefix, _ := n.ResolveDomain(goal.FromDomain)
+			gw, _ := n.ResolveGateway(goal.ToGateway)
+			n.emitClassified(ds, hop.Node.Ref, exitRef, entryRef,
+				goal.FromDomain, prefix, goal.ToGateway, gw)
+		case hop.Node.Ref.Name == core.NameETH && (i == 0 || i == len(path.Hops)-1):
+			// Endpoint ETH module. On routers the customer port feeds
+			// its single up pipe implicitly (Fig 7b has no rule for a).
+			// On L2 switches the Tagged classification selects the
+			// VLAN tunnel (Fig 9b).
+			if goal.TagClassified {
+				rule := core.SwitchRule{
+					Module: hop.Node.Ref, From: entryRef, To: exitRef,
+					Match: &core.Classifier{Kind: "tagged", Value: ""},
+				}
+				ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: rule}})
+				ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s, Tagged => %s])", hop.Node.Ref, entryRef, exitRef))
+				rev := core.SwitchRule{Module: hop.Node.Ref, From: exitRef, To: entryRef}
+				ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: rev}})
+				ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s => %s])", hop.Node.Ref, exitRef, entryRef))
+			}
+		default:
+			rule := core.SwitchRule{
+				Module: hop.Node.Ref, From: entryRef, To: exitRef, Bidirectional: true,
+			}
+			ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: rule}})
+			ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, %s, %s)", hop.Node.Ref, entryRef, exitRef))
+		}
+	}
+	return out, nil
+}
+
+// peerFor derives a module's peer on one of its pipes from the path's
+// peer groups (§III-C.1). entrySide says whether the pipe is the hop's
+// entry pipe (toward the start of the path) or its exit pipe.
+func (n *NM) peerFor(path *Path, hopIdx int, entrySide bool) core.ModuleRef {
+	hop := path.Hops[hopIdx]
+	grp := path.Groups[hop.Group]
+	pos := -1
+	for i, m := range grp.Members {
+		if m == hopIdx {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return core.ModuleRef{}
+	}
+	if entrySide {
+		if pos > 0 {
+			return path.Hops[grp.Members[pos-1]].Node.Ref
+		}
+		// Pusher: the peer across the pipe above the encapsulation is
+		// the popper at the far end.
+		if !grp.External && grp.Closed && len(grp.Members) > 1 {
+			return path.Hops[grp.Members[len(grp.Members)-1]].Node.Ref
+		}
+		return core.ModuleRef{}
+	}
+	if pos < len(grp.Members)-1 {
+		return path.Hops[grp.Members[pos+1]].Node.Ref
+	}
+	// Popper: peer is the pusher.
+	if !grp.External && grp.Closed && len(grp.Members) > 1 {
+		return path.Hops[grp.Members[0]].Node.Ref
+	}
+	return core.ModuleRef{}
+}
+
+func refOf(cp *compiledPipe, phys core.PipeID) core.PipeID {
+	if cp != nil {
+		return cp.id
+	}
+	return phys
+}
+
+func (n *NM) emitClassified(ds *DeviceScript, module core.ModuleRef, customerPipe, insidePipe core.PipeID,
+	dstDomain, dstPrefix, gwToken, gwAddr string) {
+	in := core.SwitchRule{
+		Module: module, From: customerPipe, To: insidePipe,
+		Match: &core.Classifier{Kind: "dst-domain", Value: dstDomain},
+	}
+	ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{
+		Rule: in, MatchResolved: dstPrefix,
+	}})
+	ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s, dst:%s => %s])", module, customerPipe, dstDomain, insidePipe))
+
+	outRule := core.SwitchRule{
+		Module: module, From: insidePipe, To: customerPipe, Via: gwToken,
+	}
+	ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{
+		Rule: outRule, ViaResolved: gwAddr,
+	}})
+	ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s => %s, %s])", module, insidePipe, customerPipe, gwToken))
+}
+
+func renderPipe(cp *compiledPipe) string {
+	up, low := "None", "None"
+	if !cp.upperPeer.IsZero() {
+		up = cp.upperPeer.String()
+	}
+	if !cp.lowerPeer.IsZero() {
+		low = cp.lowerPeer.String()
+	}
+	extra := "None"
+	if len(cp.deps) > 0 {
+		var parts []string
+		for _, d := range cp.deps {
+			parts = append(parts, "trade-off: "+tradeoffGetName(d.Tradeoff))
+		}
+		extra = strings.Join(parts, ", ")
+	}
+	return fmt.Sprintf("%s = create (pipe, %s, %s, %s, %s, %s)",
+		cp.id, cp.upper.Ref, cp.lower.Ref, up, low, extra)
+}
+
+// tradeoffGetName extracts the "get" metric names from a trade-off key
+// for rendering ("ordering", "error-rate").
+func tradeoffGetName(key string) string {
+	parts := strings.Split(key, "|")
+	if len(parts) != 3 {
+		return key
+	}
+	return parts[1]
+}
+
+// Execute runs compiled device scripts in order, one batch per device
+// (Table VI's "commands to each router along the path").
+func (n *NM) Execute(scripts []DeviceScript) error {
+	for _, ds := range scripts {
+		resp, err := n.ExecuteBatch(ds.Device, ds.Items)
+		if err != nil {
+			return fmt.Errorf("nm: batch on %s: %w", ds.Device, err)
+		}
+		for i, e := range resp.Errors {
+			if e != "" {
+				return fmt.Errorf("nm: batch on %s item %d (%s): %s", ds.Device, i, ds.Rendered[i], e)
+			}
+		}
+	}
+	return nil
+}

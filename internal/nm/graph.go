@@ -1,0 +1,228 @@
+package nm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conman/internal/core"
+)
+
+// Node is one module in the potential-connectivity graph.
+type Node struct {
+	Ref    core.ModuleRef
+	Abs    core.Abstraction
+	Domain string // address domain, for IP modules (§III-C pruning)
+}
+
+func (n *Node) String() string { return n.Ref.String() }
+
+// PhysAttachment is one physical pipe of an (ETH) module with its
+// resolved far end.
+type PhysAttachment struct {
+	Pipe     core.PipeID
+	External bool
+	Peer     *Node // nil when external or unresolved
+	PeerPipe core.PipeID
+}
+
+// Graph is the NM's potential-connectivity graph: modules as nodes,
+// potential up-down pipes and discovered physical pipes as edges (Fig 5).
+type Graph struct {
+	nodes   map[string]*Node
+	ordered []*Node
+	above   map[string][]*Node
+	below   map[string][]*Node
+	phys    map[string][]PhysAttachment
+}
+
+// BuildGraph constructs the graph from everything the NM has learnt
+// through topology reports and showPotential.
+func BuildGraph(n *NM) (*Graph, error) {
+	g := &Graph{
+		nodes: make(map[string]*Node),
+		above: make(map[string][]*Node),
+		below: make(map[string][]*Node),
+		phys:  make(map[string][]PhysAttachment),
+	}
+	// Nodes.
+	type devModules struct {
+		dev  core.DeviceID
+		mods []core.Abstraction
+		top  map[string]struct {
+			peerDev  core.DeviceID
+			peerPort string
+			external bool
+		}
+	}
+	var devs []devModules
+	for _, id := range n.Devices() {
+		info, _ := n.Device(id)
+		if info == nil || len(info.Modules) == 0 {
+			continue
+		}
+		dm := devModules{dev: id, mods: info.Modules, top: make(map[string]struct {
+			peerDev  core.DeviceID
+			peerPort string
+			external bool
+		})}
+		for _, p := range info.Topology.Ports {
+			dm.top[p.Name] = struct {
+				peerDev  core.DeviceID
+				peerPort string
+				external bool
+			}{p.PeerDevice, p.PeerPort, p.External}
+		}
+		devs = append(devs, dm)
+	}
+	for _, dm := range devs {
+		for _, abs := range dm.mods {
+			node := &Node{Ref: abs.Ref, Abs: abs.Clone(), Domain: abs.Attributes["address-domain"]}
+			g.nodes[node.Ref.String()] = node
+			g.ordered = append(g.ordered, node)
+		}
+	}
+	// Potential up-down edges within each device.
+	for _, dm := range devs {
+		for _, upper := range dm.mods {
+			for _, lower := range dm.mods {
+				if upper.Ref == lower.Ref {
+					continue
+				}
+				if upper.Down.CanConnect(lower.Ref.Name) && lower.Up.CanConnect(upper.Ref.Name) {
+					u := g.nodes[upper.Ref.String()]
+					l := g.nodes[lower.Ref.String()]
+					g.below[u.Ref.String()] = append(g.below[u.Ref.String()], l)
+					g.above[l.Ref.String()] = append(g.above[l.Ref.String()], u)
+				}
+			}
+		}
+	}
+	// Physical edges from topology reports matched by the Phy-<port>
+	// pipe naming convention.
+	portOwner := make(map[string]*Node) // "<dev>/<port>" -> ETH node
+	for _, dm := range devs {
+		for _, abs := range dm.mods {
+			for _, pp := range abs.Physical {
+				port := strings.TrimPrefix(string(pp.Pipe), "Phy-")
+				portOwner[string(dm.dev)+"/"+port] = g.nodes[abs.Ref.String()]
+			}
+		}
+	}
+	for _, dm := range devs {
+		for _, abs := range dm.mods {
+			node := g.nodes[abs.Ref.String()]
+			for _, pp := range abs.Physical {
+				port := strings.TrimPrefix(string(pp.Pipe), "Phy-")
+				t, ok := dm.top[port]
+				att := PhysAttachment{Pipe: pp.Pipe, External: pp.External || (ok && t.external)}
+				if ok && t.peerDev != "" && !att.External {
+					if peer, found := portOwner[string(t.peerDev)+"/"+t.peerPort]; found {
+						att.Peer = peer
+						att.PeerPipe = core.PipeID("Phy-" + t.peerPort)
+					}
+				}
+				g.phys[node.Ref.String()] = append(g.phys[node.Ref.String()], att)
+			}
+		}
+	}
+	// Deterministic neighbour ordering.
+	for _, m := range []map[string][]*Node{g.above, g.below} {
+		for k := range m {
+			sort.Slice(m[k], func(i, j int) bool { return m[k][i].Ref.String() < m[k][j].Ref.String() })
+		}
+	}
+	return g, nil
+}
+
+// Node fetches a node by reference.
+func (g *Graph) Node(ref core.ModuleRef) (*Node, bool) {
+	n, ok := g.nodes[ref.String()]
+	return n, ok
+}
+
+// Nodes returns all nodes.
+func (g *Graph) Nodes() []*Node { return append([]*Node(nil), g.ordered...) }
+
+// Above returns the modules that can sit above n.
+func (g *Graph) Above(n *Node) []*Node { return g.above[n.Ref.String()] }
+
+// Below returns the modules that can sit below n.
+func (g *Graph) Below(n *Node) []*Node { return g.below[n.Ref.String()] }
+
+// Phys returns n's physical attachments.
+func (g *Graph) Phys(n *Node) []PhysAttachment { return g.phys[n.Ref.String()] }
+
+// DeviceSubgraph renders the potential-connectivity sub-graph of one
+// device as an edge list (the paper's Fig 5).
+func (g *Graph) DeviceSubgraph(dev core.DeviceID) []string {
+	var lines []string
+	for _, n := range g.ordered {
+		if n.Ref.Device != dev {
+			continue
+		}
+		for _, b := range g.Below(n) {
+			lines = append(lines, fmt.Sprintf("%s -- down/up pipe -- %s", n.Ref, b.Ref))
+		}
+		for _, m := range n.Abs.Switch.Modes {
+			if m == core.SwDownDown || m == core.SwUpUp || m == core.SwPhyPhy {
+				lines = append(lines, fmt.Sprintf("%s has %s switching", n.Ref, m))
+			}
+		}
+		for _, pa := range g.Phys(n) {
+			if pa.External {
+				lines = append(lines, fmt.Sprintf("%s -- physical pipe %s -- (external)", n.Ref, pa.Pipe))
+			} else if pa.Peer != nil {
+				lines = append(lines, fmt.Sprintf("%s -- physical pipe %s -- %s", n.Ref, pa.Pipe, pa.Peer.Ref))
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// DOT renders the device sub-graph in Graphviz format (for Fig 5).
+func (g *Graph) DOT(dev core.DeviceID) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph %q {\n", string(dev))
+	b.WriteString("  rankdir=BT;\n")
+	for _, n := range g.ordered {
+		if n.Ref.Device != dev {
+			continue
+		}
+		label := n.Ref.String()
+		for _, m := range n.Abs.Switch.Modes {
+			if m == core.SwDownDown {
+				label += "\\n[down=>down]"
+			}
+			if m == core.SwUpUp {
+				label += "\\n[up=>up]"
+			}
+			if m == core.SwPhyPhy {
+				label += "\\n[phy=>phy]"
+			}
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", n.Ref.String(), label)
+	}
+	seen := map[string]bool{}
+	for _, n := range g.ordered {
+		if n.Ref.Device != dev {
+			continue
+		}
+		for _, lower := range g.Below(n) {
+			key := n.Ref.String() + "--" + lower.Ref.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			fmt.Fprintf(&b, "  %q -- %q;\n", lower.Ref.String(), n.Ref.String())
+		}
+		for _, pa := range g.Phys(n) {
+			if pa.External {
+				fmt.Fprintf(&b, "  %q -- %q [style=dashed,label=%q];\n", n.Ref.String(), "external:"+string(pa.Pipe), string(pa.Pipe))
+			}
+		}
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

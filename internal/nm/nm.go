@@ -1,0 +1,524 @@
+// Package nm implements the CONMan Network Manager (paper §II-D): it
+// learns the network's physical topology and module abstractions over the
+// management channel, builds the potential-connectivity graph (Fig 5),
+// finds protocol-sane module-level paths between endpoints (Fig 6,
+// §III-C.1), compiles a chosen path into protocol-agnostic CONMan
+// primitives (Figs 7b/8b/9b) and executes them, relaying module-to-module
+// messages (conveyMessage / listFieldsAndValues) since modules can only
+// talk to the NM.
+package nm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"conman/internal/channel"
+	"conman/internal/core"
+	"conman/internal/msg"
+)
+
+// Counters tracks the NM's management-channel traffic in the categories
+// of the paper's Table VI: configuration commands sent (one batch per
+// device), module-message relays (each relayed message counts once
+// received from the source and once sent to the destination), and
+// unsolicited notifications received. Transport-level acknowledgements
+// (batch responses) are tracked separately and not part of the Table VI
+// numbers, matching the paper's accounting of n command sends with no
+// per-command receive.
+type Counters struct {
+	CmdSent     int // command batches sent
+	RelayIn     int // convey/listFields messages received for relay
+	RelayOut    int // convey/listFields messages relayed out
+	NotifyRecv  int // unsolicited notifications received
+	AckRecv     int // batch responses (transport-level, not in Table VI)
+	TriggerRecv int
+}
+
+// Sent is the Table VI "messages sent" figure.
+func (c Counters) Sent() int { return c.CmdSent + c.RelayOut }
+
+// Received is the Table VI "messages received" figure.
+func (c Counters) Received() int { return c.RelayIn + c.NotifyRecv }
+
+// DeviceInfo is everything the NM knows about one device.
+type DeviceInfo struct {
+	ID       core.DeviceID
+	Hello    bool
+	Topology msg.Topology
+	Modules  []core.Abstraction // from showPotential
+}
+
+type relayOrigin struct {
+	dev string
+	id  uint64
+}
+
+// NM is the network manager.
+type NM struct {
+	mu       sync.Mutex
+	ep       channel.Endpoint
+	devices  map[core.DeviceID]*DeviceInfo
+	order    []core.DeviceID
+	counters Counters
+
+	reqSeq  uint64
+	waiters map[uint64]chan msg.Envelope
+
+	relaySeq uint64
+	relays   map[uint64]relayOrigin
+
+	// domains maps abstract domain names (the NM's admitted
+	// protocol-specific knowledge, §III-C) to prefixes, and gateway
+	// tokens to addresses.
+	domains  map[string]string
+	gateways map[string]string
+
+	notifies []msg.Notify
+	triggers []msg.Trigger
+
+	logEnabled bool
+	msgLog     []string
+
+	// OnTrigger, when set, is invoked for dependency-maintenance
+	// triggers (§II-E).
+	OnTrigger func(t msg.Trigger)
+
+	// CallTimeout bounds request/response calls.
+	CallTimeout time.Duration
+}
+
+// New creates a network manager.
+func New() *NM {
+	return &NM{
+		devices:     make(map[core.DeviceID]*DeviceInfo),
+		waiters:     make(map[uint64]chan msg.Envelope),
+		relays:      make(map[uint64]relayOrigin),
+		domains:     make(map[string]string),
+		gateways:    make(map[string]string),
+		CallTimeout: 5 * time.Second,
+	}
+}
+
+// AttachChannel connects the NM to the management channel.
+func (n *NM) AttachChannel(ep channel.Endpoint) {
+	n.mu.Lock()
+	n.ep = ep
+	n.mu.Unlock()
+	ep.SetHandler(n.handle)
+}
+
+// SetDomain registers an address-domain name -> prefix binding ("C1-S2"
+// -> "10.0.2.0/24"). Per §III-C the NM legitimately owns this knowledge.
+func (n *NM) SetDomain(name, prefix string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.domains[name] = prefix
+}
+
+// SetGateway registers a gateway token -> address binding ("S1-gateway"
+// -> "192.168.0.1").
+func (n *NM) SetGateway(token, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.gateways[token] = addr
+}
+
+// ResolveDomain returns the prefix for a domain name.
+func (n *NM) ResolveDomain(name string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	p, ok := n.domains[name]
+	return p, ok
+}
+
+// ResolveGateway returns the address for a gateway token.
+func (n *NM) ResolveGateway(token string) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	a, ok := n.gateways[token]
+	return a, ok
+}
+
+// Counters returns a snapshot of the message counters.
+func (n *NM) Counters() Counters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters
+}
+
+// ResetCounters zeroes the counters (called before a configuration run so
+// Table VI counts configuration traffic only).
+func (n *NM) ResetCounters() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.counters = Counters{}
+	n.msgLog = nil
+}
+
+// EnableMessageLog starts recording a human-readable trace of the NM's
+// management-channel traffic (used to regenerate the paper's Fig 3
+// message sequence).
+func (n *NM) EnableMessageLog() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.logEnabled = true
+}
+
+// MessageLog returns the recorded trace.
+func (n *NM) MessageLog() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]string(nil), n.msgLog...)
+}
+
+func (n *NM) logf(format string, args ...any) {
+	if !n.logEnabled {
+		return
+	}
+	n.msgLog = append(n.msgLog, fmt.Sprintf(format, args...))
+}
+
+// Devices returns the known device ids in hello order.
+func (n *NM) Devices() []core.DeviceID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]core.DeviceID(nil), n.order...)
+}
+
+// Device returns the NM's knowledge of one device.
+func (n *NM) Device(id core.DeviceID) (*DeviceInfo, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	d, ok := n.devices[id]
+	if !ok {
+		return nil, false
+	}
+	cp := *d
+	cp.Modules = append([]core.Abstraction(nil), d.Modules...)
+	return &cp, true
+}
+
+// Notifies returns the unsolicited notifications received so far.
+func (n *NM) Notifies() []msg.Notify {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]msg.Notify(nil), n.notifies...)
+}
+
+// Triggers returns fired dependency triggers.
+func (n *NM) Triggers() []msg.Trigger {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return append([]msg.Trigger(nil), n.triggers...)
+}
+
+func (n *NM) deviceInfo(id core.DeviceID) *DeviceInfo {
+	d, ok := n.devices[id]
+	if !ok {
+		d = &DeviceInfo{ID: id}
+		n.devices[id] = d
+		n.order = append(n.order, id)
+		sort.Slice(n.order, func(i, j int) bool { return n.order[i] < n.order[j] })
+	}
+	return d
+}
+
+// ---------------------------------------------------------------------------
+// Channel handling
+
+func (n *NM) handle(env msg.Envelope) {
+	switch env.Type {
+	case msg.TypeHello:
+		var h msg.Hello
+		if env.Decode(&h) == nil {
+			n.mu.Lock()
+			n.deviceInfo(h.Device).Hello = true
+			n.mu.Unlock()
+		}
+
+	case msg.TypeTopology:
+		var t msg.Topology
+		if env.Decode(&t) == nil {
+			n.mu.Lock()
+			n.deviceInfo(t.Device).Topology = t
+			n.mu.Unlock()
+		}
+
+	case msg.TypeConvey:
+		var c msg.Convey
+		if env.Decode(&c) != nil {
+			return
+		}
+		n.mu.Lock()
+		n.counters.RelayIn++
+		n.logf("conveyMessage (%s -> %s, %s)", c.FromModule, c.ToModule, c.Kind)
+		ep := n.ep
+		n.mu.Unlock()
+		out := msg.MustNew(msg.TypeConvey, msg.NMName, string(c.ToModule.Device), env.ID, c)
+		if ep != nil && ep.Send(out) == nil {
+			n.mu.Lock()
+			n.counters.RelayOut++
+			n.mu.Unlock()
+		}
+
+	case msg.TypeListFieldsReq:
+		var req msg.ListFieldsReq
+		if env.Decode(&req) != nil {
+			return
+		}
+		n.mu.Lock()
+		n.counters.RelayIn++
+		n.relaySeq++
+		rid := n.relaySeq
+		n.relays[rid] = relayOrigin{dev: env.From, id: env.ID}
+		n.logf("listFieldsAndValues(%s) from %s", req.Target, req.Requester)
+		ep := n.ep
+		n.mu.Unlock()
+		out := msg.MustNew(msg.TypeListFieldsReq, msg.NMName, string(req.Target.Device), rid, req)
+		if ep != nil && ep.Send(out) == nil {
+			n.mu.Lock()
+			n.counters.RelayOut++
+			n.mu.Unlock()
+		}
+
+	case msg.TypeListFieldsResp:
+		// Either an answer to a relayed module query, or (never) ours.
+		n.mu.Lock()
+		origin, isRelay := n.relays[env.ID]
+		if isRelay {
+			delete(n.relays, env.ID)
+			n.counters.RelayIn++
+		}
+		ep := n.ep
+		n.mu.Unlock()
+		if isRelay {
+			var body msg.ListFieldsResp
+			if env.Decode(&body) != nil {
+				return
+			}
+			out := msg.MustNew(msg.TypeListFieldsResp, msg.NMName, origin.dev, origin.id, body)
+			if ep != nil && ep.Send(out) == nil {
+				n.mu.Lock()
+				n.counters.RelayOut++
+				n.mu.Unlock()
+			}
+			return
+		}
+		n.wake(env)
+
+	case msg.TypeNotify:
+		var note msg.Notify
+		if env.Decode(&note) != nil {
+			return
+		}
+		n.mu.Lock()
+		n.counters.NotifyRecv++
+		n.notifies = append(n.notifies, note)
+		n.logf("notify (%s: %s)", note.Module, note.Kind)
+		n.mu.Unlock()
+
+	case msg.TypeTrigger:
+		var t msg.Trigger
+		if env.Decode(&t) != nil {
+			return
+		}
+		n.mu.Lock()
+		n.counters.TriggerRecv++
+		n.triggers = append(n.triggers, t)
+		cb := n.OnTrigger
+		n.mu.Unlock()
+		if cb != nil {
+			cb(t)
+		}
+
+	case msg.TypeError:
+		// Could be a failed relay or an answer to one of our requests.
+		n.mu.Lock()
+		origin, isRelay := n.relays[env.ID]
+		if isRelay {
+			delete(n.relays, env.ID)
+		}
+		ep := n.ep
+		n.mu.Unlock()
+		if isRelay {
+			var e msg.Error
+			_ = env.Decode(&e)
+			out := msg.MustNew(msg.TypeError, msg.NMName, origin.dev, origin.id, e)
+			if ep != nil {
+				_ = ep.Send(out)
+			}
+			return
+		}
+		n.wake(env)
+
+	case msg.TypeCommandBatchResp:
+		n.mu.Lock()
+		n.counters.AckRecv++
+		n.mu.Unlock()
+		n.wake(env)
+
+	default:
+		// Responses to the NM's own requests.
+		n.wake(env)
+	}
+}
+
+func (n *NM) wake(env msg.Envelope) {
+	n.mu.Lock()
+	ch, ok := n.waiters[env.ID]
+	n.mu.Unlock()
+	if ok {
+		select {
+		case ch <- env:
+		default:
+		}
+	}
+}
+
+// call performs a request/response round trip to a device.
+func (n *NM) call(t msg.Type, dev core.DeviceID, body any) (msg.Envelope, error) {
+	n.mu.Lock()
+	n.reqSeq++
+	id := n.reqSeq
+	ch := make(chan msg.Envelope, 1)
+	n.waiters[id] = ch
+	ep := n.ep
+	n.mu.Unlock()
+	defer func() {
+		n.mu.Lock()
+		delete(n.waiters, id)
+		n.mu.Unlock()
+	}()
+	if ep == nil {
+		return msg.Envelope{}, fmt.Errorf("nm: no management channel attached")
+	}
+	env, err := msg.New(t, msg.NMName, string(dev), id, body)
+	if err != nil {
+		return msg.Envelope{}, err
+	}
+	if err := ep.Send(env); err != nil {
+		return msg.Envelope{}, err
+	}
+	select {
+	case resp := <-ch:
+		if resp.Type == msg.TypeError {
+			var e msg.Error
+			_ = resp.Decode(&e)
+			return msg.Envelope{}, fmt.Errorf("nm: %s on %s: %s", t, dev, e.Message)
+		}
+		return resp, nil
+	case <-time.After(n.CallTimeout):
+		return msg.Envelope{}, fmt.Errorf("nm: %s on %s: timeout", t, dev)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Primitives (Table I)
+
+// ShowPotential fetches (and caches) a device's module abstractions.
+func (n *NM) ShowPotential(dev core.DeviceID) ([]core.Abstraction, error) {
+	resp, err := n.call(msg.TypeShowPotentialReq, dev, nil)
+	if err != nil {
+		return nil, err
+	}
+	var body msg.ShowPotentialResp
+	if err := resp.Decode(&body); err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	n.deviceInfo(dev).Modules = body.Modules
+	n.mu.Unlock()
+	return body.Modules, nil
+}
+
+// ShowActual fetches a device's module states.
+func (n *NM) ShowActual(dev core.DeviceID) ([]core.ModuleState, error) {
+	resp, err := n.call(msg.TypeShowActualReq, dev, nil)
+	if err != nil {
+		return nil, err
+	}
+	var body msg.ShowActualResp
+	if err := resp.Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Modules, nil
+}
+
+// ExecuteBatch sends one configuration command batch to a device (the
+// Table VI "command to each router").
+func (n *NM) ExecuteBatch(dev core.DeviceID, items []msg.CommandItem) (msg.CommandBatchResp, error) {
+	n.mu.Lock()
+	n.counters.CmdSent++
+	n.logf("command batch -> %s (%d items)", dev, len(items))
+	n.mu.Unlock()
+	resp, err := n.call(msg.TypeCommandBatchReq, dev, msg.CommandBatchReq{Items: items})
+	if err != nil {
+		return msg.CommandBatchResp{}, err
+	}
+	var body msg.CommandBatchResp
+	if err := resp.Decode(&body); err != nil {
+		return msg.CommandBatchResp{}, err
+	}
+	return body, nil
+}
+
+// CreateFilter installs an abstract filter rule on its inspecting module.
+func (n *NM) CreateFilter(rule core.FilterRule) (string, error) {
+	resp, err := n.call(msg.TypeCreateFilterReq, rule.Module.Device, msg.CreateFilterReq{Rule: rule})
+	if err != nil {
+		return "", err
+	}
+	var body msg.CreateFilterResp
+	if err := resp.Decode(&body); err != nil {
+		return "", err
+	}
+	return body.RuleID, nil
+}
+
+// Delete removes a component.
+func (n *NM) Delete(req core.DeleteRequest) error {
+	_, err := n.call(msg.TypeDeleteReq, req.Module.Device, msg.DeleteReq{Req: req})
+	return err
+}
+
+// InstallTrigger asks a module to report low-level value changes for a
+// component (§II-E dependency maintenance).
+func (n *NM) InstallTrigger(module core.ModuleRef, component string) (string, error) {
+	resp, err := n.call(msg.TypeInstallTriggerReq, module.Device, msg.InstallTriggerReq{
+		Module: module, Component: component,
+	})
+	if err != nil {
+		return "", err
+	}
+	var body msg.InstallTriggerResp
+	if err := resp.Decode(&body); err != nil {
+		return "", err
+	}
+	return body.TriggerID, nil
+}
+
+// SelfTest asks a module to probe data-plane connectivity to its peer
+// (§II-D.2).
+func (n *NM) SelfTest(module core.ModuleRef, pipe core.PipeID) (bool, string, error) {
+	resp, err := n.call(msg.TypeSelfTestReq, module.Device, msg.SelfTestReq{Module: module, Pipe: pipe})
+	if err != nil {
+		return false, "", err
+	}
+	var body msg.SelfTestResp
+	if err := resp.Decode(&body); err != nil {
+		return false, "", err
+	}
+	return body.OK, body.Detail, nil
+}
+
+// DiscoverAll invokes showPotential on every device that said hello.
+func (n *NM) DiscoverAll() error {
+	for _, dev := range n.Devices() {
+		if _, err := n.ShowPotential(dev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,471 @@
+package nm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conman/internal/core"
+)
+
+// PeerGroup records every module that touched one protocol header along a
+// path: the pusher first, processors in order, the popper last. The NM
+// derives pipe peer relationships from these groups (§III-C.1: "This also
+// allows the NM to determine modules that are peers of each other").
+type PeerGroup struct {
+	Protocol core.ModuleName
+	Domain   string
+	Members  []int // hop indices, in path order
+	External bool  // header originated outside the managed domain
+	Closed   bool  // popped within the path
+}
+
+// Hop is one module traversal in a found path.
+type Hop struct {
+	Node *Node
+	Mode core.SwitchMode
+	// EntryVia/ExitVia are the co-located neighbour modules for up/down
+	// entries and exits (nil for physical).
+	EntryVia, ExitVia *Node
+	// EntryPhys/ExitPhys are set for physical entries and exits.
+	EntryPhys, ExitPhys core.PipeID
+	// Group is the index of the PeerGroup this hop touched.
+	Group int
+}
+
+// Path is one protocol-sane module-level path.
+type Path struct {
+	Hops   []Hop
+	Groups []PeerGroup
+}
+
+// Modules returns the path as the paper prints it: the module-id sequence
+// ("a, g, l, h, b, c, i, d, e, j, n, k, f").
+func (p *Path) Modules() string {
+	ids := make([]string, len(p.Hops))
+	for i, h := range p.Hops {
+		ids[i] = string(h.Node.Ref.Module)
+	}
+	return strings.Join(ids, ", ")
+}
+
+// Pipes counts the up-down pipes the path would instantiate (the paper's
+// selection metric: "minimizes the total number of pipes instantiated in
+// the routers").
+func (p *Path) Pipes() int {
+	n := 0
+	for _, h := range p.Hops {
+		if h.ExitVia != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// uses reports whether any hop's module has the given name.
+func (p *Path) uses(name core.ModuleName) bool {
+	for _, h := range p.Hops {
+		if h.Node.Ref.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Describe classifies the path in the paper's §III-C.1 vocabulary, e.g.
+// "MPLS", "GRE-IP tunnel", "IP-IP over MPLS (A-B)".
+func (p *Path) Describe() string {
+	var tunnel string
+	hasGRE := p.uses(core.NameGRE)
+	ipGroups := 0
+	for _, g := range p.Groups {
+		if g.Protocol == core.NameIPv4 && !g.External {
+			ipGroups++
+		}
+	}
+	switch {
+	case hasGRE:
+		tunnel = "GRE-IP tunnel"
+	case ipGroups > 0:
+		tunnel = "IP-IP tunnel"
+	}
+	var mplsDevs []string
+	seen := map[string]bool{}
+	for _, h := range p.Hops {
+		if h.Node.Ref.Name == core.NameMPLS && !seen[string(h.Node.Ref.Device)] {
+			seen[string(h.Node.Ref.Device)] = true
+			mplsDevs = append(mplsDevs, string(h.Node.Ref.Device))
+		}
+	}
+	if p.uses(core.NameVLAN) {
+		// Distinguish the canonical configuration (one VLAN spanning
+		// every switch, Fig 9) from variants where a transit switch
+		// bridges tagged frames with [phy => phy] only, or where the
+		// tag is popped and re-pushed mid-path (segmented tunnels).
+		withVLAN := map[core.DeviceID]bool{}
+		all := map[core.DeviceID]bool{}
+		for _, h := range p.Hops {
+			all[h.Node.Ref.Device] = true
+			if h.Node.Ref.Name == core.NameVLAN {
+				withVLAN[h.Node.Ref.Device] = true
+			}
+		}
+		vlanGroups := 0
+		for _, g := range p.Groups {
+			if g.Protocol == core.NameVLAN {
+				vlanGroups++
+			}
+		}
+		switch {
+		case len(withVLAN) < len(all):
+			return "VLAN tunnel (transparent core)"
+		case vlanGroups > 1:
+			return "VLAN tunnel (segmented)"
+		default:
+			return "VLAN tunnel"
+		}
+	}
+	switch {
+	case len(mplsDevs) == 0 && tunnel == "":
+		return "plain"
+	case len(mplsDevs) == 0:
+		return tunnel
+	case tunnel == "":
+		return "MPLS"
+	default:
+		span := fmt.Sprintf("%s-%s", mplsDevs[0], mplsDevs[len(mplsDevs)-1])
+		all := true
+		for _, h := range p.Hops {
+			if h.Node.Ref.Name == core.NameIPv4 && !seen[string(h.Node.Ref.Device)] {
+				all = false
+			}
+		}
+		if all {
+			return fmt.Sprintf("%s over MPLS", tunnel)
+		}
+		return fmt.Sprintf("%s over MPLS (%s)", tunnel, span)
+	}
+}
+
+// PruneStats counts why the DFS abandoned branches (Fig 6's examples).
+type PruneStats struct {
+	NameMismatch   int // header/protocol mismatch ("protocol sanity")
+	DomainMismatch int // peers in different address domains (Fig 6b)
+	Visited        int // cycle avoidance
+	DeadEnd        int
+	StackUnderflow int
+	ExternalLeak   int // customer L2 header handled off the endpoints
+}
+
+// FindSpec describes what the path finder should connect.
+type FindSpec struct {
+	// From/To are the endpoint (customer-facing) ETH modules.
+	From, To core.ModuleRef
+	// TrafficDomain is the address domain of the customer traffic the
+	// path must carry (e.g. "C1").
+	TrafficDomain string
+	// MaxPaths bounds the search (0 = 1000).
+	MaxPaths int
+	// DisableDomainPruning turns off the Fig 6(b) rule (for the ablation
+	// benchmark).
+	DisableDomainPruning bool
+	// DisableSanityPruning turns off header-name matching (ablation;
+	// paths found this way are not usable, only counted).
+	DisableSanityPruning bool
+}
+
+type finder struct {
+	g       *Graph
+	spec    FindSpec
+	stats   PruneStats
+	visited map[string]int
+	hops    []Hop
+	groups  []PeerGroup
+	stack   []int // group indices, top first
+	paths   []*Path
+	max     int
+}
+
+// visitLimit implements the paper's cycle avoidance: each module appears
+// at most once in a path. L2-switch ETH modules are the one exception —
+// the paper's own Fig 9b script sends the packet through module a twice
+// (customer port in, VLAN tag, trunk port out) — so modules advertising
+// [phy => down] may be traversed twice.
+func visitLimit(n *Node) int {
+	if n.Abs.Switch.Supports(core.SwPhyDown) {
+		return 2
+	}
+	return 1
+}
+
+// FindPaths enumerates all protocol-sane paths from spec.From's external
+// physical pipe to spec.To's, applying the paper's two pruning rules:
+// encapsulation sanity and address-domain compatibility (§III-C.1).
+func (g *Graph) FindPaths(spec FindSpec) ([]*Path, PruneStats, error) {
+	from, ok := g.Node(spec.From)
+	if !ok {
+		return nil, PruneStats{}, fmt.Errorf("nm: unknown module %s", spec.From)
+	}
+	if _, ok := g.Node(spec.To); !ok {
+		return nil, PruneStats{}, fmt.Errorf("nm: unknown module %s", spec.To)
+	}
+	hasExternal := false
+	for _, pa := range g.Phys(from) {
+		if pa.External {
+			hasExternal = true
+		}
+	}
+	if !hasExternal {
+		return nil, PruneStats{}, fmt.Errorf("nm: %s has no external physical pipe", spec.From)
+	}
+	f := &finder{
+		g:       g,
+		spec:    spec,
+		visited: make(map[string]int),
+		max:     spec.MaxPaths,
+	}
+	if f.max == 0 {
+		f.max = 1000
+	}
+	// The customer frame arrives with an Ethernet header (pushed by the
+	// customer's equipment) around an IP packet in the customer's
+	// address domain.
+	f.groups = []PeerGroup{
+		{Protocol: core.NameETH, External: true},
+		{Protocol: core.NameIPv4, Domain: spec.TrafficDomain, External: true},
+	}
+	f.stack = []int{0, 1}
+	var entryPipe core.PipeID
+	for _, pa := range g.Phys(from) {
+		if pa.External {
+			entryPipe = pa.Pipe
+			break
+		}
+	}
+	f.visit(from, core.EndPhy, nil, entryPipe)
+	// Deterministic result order: by length, module sequence, then mode
+	// sequence (paths can share modules but differ in switching modes).
+	sort.Slice(f.paths, func(i, j int) bool {
+		a, b := f.paths[i], f.paths[j]
+		if len(a.Hops) != len(b.Hops) {
+			return len(a.Hops) < len(b.Hops)
+		}
+		if am, bm := a.Modules(), b.Modules(); am != bm {
+			return am < bm
+		}
+		return modeString(a) < modeString(b)
+	})
+	return f.paths, f.stats, nil
+}
+
+func modeString(p *Path) string {
+	var b strings.Builder
+	for _, h := range p.Hops {
+		b.WriteString(h.Mode.String())
+	}
+	return b.String()
+}
+
+func canon(n core.ModuleName) core.ModuleName {
+	if n == "IP" {
+		return core.NameIPv4
+	}
+	return n
+}
+
+// visit explores from node, entered at the given end.
+func (f *finder) visit(node *Node, entry core.PipeEnd, entryVia *Node, entryPhys core.PipeID) {
+	if len(f.paths) >= f.max || len(f.hops) > 64 {
+		return
+	}
+	key := node.Ref.String()
+	if f.visited[key] >= visitLimit(node) {
+		f.stats.Visited++
+		return
+	}
+	f.visited[key]++
+	defer func() { f.visited[key]-- }()
+
+	for _, mode := range node.Abs.Switch.Modes {
+		if mode.From != entry {
+			continue
+		}
+		f.tryMode(node, mode, entryVia, entryPhys)
+	}
+}
+
+func (f *finder) tryMode(node *Node, mode core.SwitchMode, entryVia *Node, entryPhys core.PipeID) {
+	effect := mode.Effect()
+	var groupIdx int
+
+	// Apply the header effect, with undo information.
+	switch effect {
+	case core.EffectPop, core.EffectProcess:
+		if len(f.stack) == 0 {
+			f.stats.StackUnderflow++
+			return
+		}
+		groupIdx = f.stack[0]
+		grp := &f.groups[groupIdx]
+		if !f.spec.DisableSanityPruning && canon(grp.Protocol) != canon(node.Ref.Name) {
+			f.stats.NameMismatch++
+			return
+		}
+		// The customer's own Ethernet framing may only be terminated at
+		// the goal's endpoint modules: a transit device transparently
+		// bridging customer frames through the shared core would defeat
+		// the isolation the goal asks for.
+		if grp.External && canon(grp.Protocol) == core.NameETH &&
+			node.Ref != f.spec.From && node.Ref != f.spec.To {
+			f.stats.ExternalLeak++
+			return
+		}
+		// Address-domain rule (Fig 6b): IP modules handling a header
+		// must share its domain.
+		if !f.spec.DisableDomainPruning &&
+			canon(node.Ref.Name) == core.NameIPv4 &&
+			grp.Domain != "" && node.Domain != "" && grp.Domain != node.Domain {
+			f.stats.DomainMismatch++
+			return
+		}
+		grp.Members = append(grp.Members, len(f.hops))
+		if effect == core.EffectPop {
+			grp.Closed = true
+			f.stack = f.stack[1:]
+		}
+	case core.EffectPush:
+		groupIdx = len(f.groups)
+		f.groups = append(f.groups, PeerGroup{
+			Protocol: node.Ref.Name,
+			Domain:   node.Domain,
+			Members:  []int{len(f.hops)},
+		})
+		f.stack = append([]int{groupIdx}, f.stack...)
+	}
+
+	hop := Hop{
+		Node: node, Mode: mode,
+		EntryVia: entryVia, EntryPhys: entryPhys,
+		Group: groupIdx,
+	}
+	f.hops = append(f.hops, hop)
+
+	f.explore(node, mode)
+
+	// Undo.
+	f.hops = f.hops[:len(f.hops)-1]
+	switch effect {
+	case core.EffectPop:
+		grp := &f.groups[groupIdx]
+		grp.Members = grp.Members[:len(grp.Members)-1]
+		grp.Closed = false
+		f.stack = append([]int{groupIdx}, f.stack...)
+	case core.EffectProcess:
+		grp := &f.groups[groupIdx]
+		grp.Members = grp.Members[:len(grp.Members)-1]
+	case core.EffectPush:
+		f.groups = f.groups[:len(f.groups)-1]
+		f.stack = f.stack[1:]
+	}
+}
+
+func (f *finder) explore(node *Node, mode core.SwitchMode) {
+	hopIdx := len(f.hops) - 1
+	switch mode.To {
+	case core.EndUp:
+		ups := f.g.Above(node)
+		if len(ups) == 0 {
+			f.stats.DeadEnd++
+		}
+		for _, up := range ups {
+			f.hops[hopIdx].ExitVia = up
+			f.visit(up, core.EndDown, node, "")
+		}
+		f.hops[hopIdx].ExitVia = nil
+	case core.EndDown:
+		downs := f.g.Below(node)
+		if len(downs) == 0 {
+			f.stats.DeadEnd++
+		}
+		for _, down := range downs {
+			f.hops[hopIdx].ExitVia = down
+			f.visit(down, core.EndUp, node, "")
+		}
+		f.hops[hopIdx].ExitVia = nil
+	case core.EndPhy:
+		for _, pa := range f.g.Phys(node) {
+			if pa.Pipe == f.hops[hopIdx].EntryPhys {
+				continue // never exit the pipe we entered on
+			}
+			f.hops[hopIdx].ExitPhys = pa.Pipe
+			if pa.External {
+				f.maybeAccept(node)
+			} else if pa.Peer != nil {
+				f.visit(pa.Peer, core.EndPhy, nil, pa.PeerPipe)
+			}
+		}
+		f.hops[hopIdx].ExitPhys = ""
+	}
+}
+
+// maybeAccept records a completed path if we are exiting the goal
+// module's external pipe with a clean header stack: the freshly pushed
+// Ethernet header on top of the customer's original IP packet — every
+// header pushed inside the network has been popped.
+func (f *finder) maybeAccept(node *Node) {
+	if node.Ref != f.spec.To {
+		return
+	}
+	if len(f.stack) != 2 {
+		return
+	}
+	top, under := &f.groups[f.stack[0]], &f.groups[f.stack[1]]
+	if canon(top.Protocol) != core.NameETH || top.External {
+		return
+	}
+	if !under.External {
+		return
+	}
+	// Deep-copy the path.
+	p := &Path{
+		Hops:   append([]Hop(nil), f.hops...),
+		Groups: make([]PeerGroup, len(f.groups)),
+	}
+	for i, g := range f.groups {
+		p.Groups[i] = PeerGroup{
+			Protocol: g.Protocol, Domain: g.Domain,
+			Members:  append([]int(nil), g.Members...),
+			External: g.External, Closed: g.Closed,
+		}
+	}
+	f.paths = append(f.paths, p)
+}
+
+// SelectPath implements the paper's selector: minimise instantiated
+// pipes, preferring modules that advertise fast forwarding (the MPLS
+// preference of §III-C.1) on ties.
+func SelectPath(paths []*Path) *Path {
+	if len(paths) == 0 {
+		return nil
+	}
+	best := paths[0]
+	bestFast := pathFast(best)
+	for _, p := range paths[1:] {
+		switch {
+		case p.Pipes() < best.Pipes():
+			best, bestFast = p, pathFast(p)
+		case p.Pipes() == best.Pipes() && pathFast(p) && !bestFast:
+			best, bestFast = p, true
+		}
+	}
+	return best
+}
+
+func pathFast(p *Path) bool {
+	for _, h := range p.Hops {
+		if h.Node.Abs.Attributes["forwarding"] == "fast" {
+			return true
+		}
+	}
+	return false
+}

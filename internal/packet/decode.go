@@ -1,0 +1,108 @@
+package packet
+
+import "fmt"
+
+// Layer is one decoded header.
+type Layer interface {
+	LayerType() LayerType
+}
+
+// Decoded is the result of decoding a packet: the parsed headers
+// outermost-first and the remaining payload bytes.
+type Decoded struct {
+	Layers  []Layer
+	Payload []byte
+}
+
+// Layer returns the first decoded layer of type t, or nil.
+func (d *Decoded) Layer(t LayerType) Layer {
+	for _, l := range d.Layers {
+		if l.LayerType() == t {
+			return l
+		}
+	}
+	return nil
+}
+
+// Decode walks the packet from the given first layer, decoding headers
+// until it reaches an opaque payload. Unlike gopacket we fail the whole
+// decode on a malformed header: the simulator never needs partial decodes,
+// and a hard error surfaces bugs immediately.
+func Decode(data []byte, first LayerType) (*Decoded, error) {
+	d := &Decoded{}
+	cur := first
+	rest := data
+	for {
+		if cur == LayerTypePayload {
+			d.Payload = rest
+			return d, nil
+		}
+		var (
+			layer Layer
+			n     int
+			next  LayerType
+			err   error
+		)
+		switch cur {
+		case LayerTypeEthernet:
+			var e Ethernet
+			e, n, next, err = DecodeEthernet(rest)
+			layer = e
+		case LayerTypeDot1Q:
+			var q Dot1Q
+			q, n, next, err = DecodeDot1Q(rest)
+			layer = q
+		case LayerTypeARP:
+			var a ARP
+			a, n, next, err = DecodeARP(rest)
+			layer = a
+		case LayerTypeIPv4:
+			var ip IPv4
+			ip, n, next, err = DecodeIPv4(rest)
+			layer = ip
+		case LayerTypeGRE:
+			var g GRE
+			g, n, next, err = DecodeGRE(rest)
+			layer = g
+		case LayerTypeMPLS:
+			var m MPLS
+			m, n, next, err = DecodeMPLS(rest)
+			layer = m
+		case LayerTypeUDP:
+			var u UDP
+			u, n, next, err = DecodeUDP(rest)
+			layer = u
+		case LayerTypeProbe:
+			var p Probe
+			p, n, next, err = DecodeProbe(rest)
+			layer = p
+		default:
+			return nil, fmt.Errorf("packet: no decoder for %s", cur)
+		}
+		if err != nil {
+			return nil, err
+		}
+		d.Layers = append(d.Layers, layer)
+		rest = rest[n:]
+		cur = next
+	}
+}
+
+// Summary renders a one-line protocol summary like
+// "Ethernet > IPv4 > GRE > IPv4 > Probe", useful in tests and captures.
+func (d *Decoded) Summary() string {
+	s := ""
+	for i, l := range d.Layers {
+		if i > 0 {
+			s += " > "
+		}
+		s += l.LayerType().String()
+	}
+	if len(d.Payload) > 0 {
+		if s != "" {
+			s += " > "
+		}
+		s += fmt.Sprintf("Payload(%dB)", len(d.Payload))
+	}
+	return s
+}

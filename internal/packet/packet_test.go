@@ -1,0 +1,543 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"net/netip"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func mac(b byte) MAC { return MAC{0x02, 0, 0, 0, 0, b} }
+
+func addr(s string) netip.Addr { return netip.MustParseAddr(s) }
+
+func TestBufferPrepend(t *testing.T) {
+	b := NewBuffer([]byte("payload"))
+	copy(b.Prepend(3), "abc")
+	copy(b.Prepend(2), "XY")
+	if got := string(b.Bytes()); got != "XYabcpayload" {
+		t.Fatalf("got %q", got)
+	}
+	if b.Len() != len("XYabcpayload") {
+		t.Fatalf("Len = %d", b.Len())
+	}
+}
+
+func TestBufferPrependGrows(t *testing.T) {
+	b := NewBuffer(nil)
+	big := b.Prepend(4096)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if b.Len() != 4096 {
+		t.Fatalf("Len = %d", b.Len())
+	}
+	if b.Bytes()[1] != 1 || b.Bytes()[4095] != byte(4095%256) {
+		t.Fatal("contents corrupted by growth")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{Dst: mac(1), Src: mac(2), Type: EtherTypeIPv4}
+	data, err := Serialize([]byte{0xde, 0xad}, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, next, err := DecodeEthernet(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e || n != 14 || next != LayerTypeIPv4 {
+		t.Fatalf("got %+v n=%d next=%v", got, n, next)
+	}
+	if !bytes.Equal(data[n:], []byte{0xde, 0xad}) {
+		t.Fatal("payload mangled")
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	if _, _, _, err := DecodeEthernet(make([]byte, 13)); err == nil {
+		t.Fatal("want error for truncated frame")
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0x02, 0x42, 0xac, 0x11, 0x00, 0x02}
+	s := m.String()
+	if s != "02:42:ac:11:00:02" {
+		t.Fatalf("got %q", s)
+	}
+	back, err := ParseMAC(s)
+	if err != nil || back != m {
+		t.Fatalf("ParseMAC: %v %v", back, err)
+	}
+	if _, err := ParseMAC("nonsense"); err == nil {
+		t.Fatal("want parse error")
+	}
+	if !BroadcastMAC.IsBroadcast() || m.IsBroadcast() {
+		t.Fatal("IsBroadcast wrong")
+	}
+	if !(MAC{}).IsZero() || m.IsZero() {
+		t.Fatal("IsZero wrong")
+	}
+}
+
+func TestDot1QRoundTrip(t *testing.T) {
+	q := Dot1Q{PCP: 5, DEI: true, VID: 22, Type: EtherTypeIPv4}
+	data, err := Serialize(nil, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, next, err := DecodeDot1Q(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != q || n != 4 || next != LayerTypeIPv4 {
+		t.Fatalf("got %+v n=%d next=%v", got, n, next)
+	}
+}
+
+func TestDot1QValidation(t *testing.T) {
+	if _, err := Serialize(nil, Dot1Q{VID: 5000}); err == nil {
+		t.Fatal("want VID range error")
+	}
+	if _, err := Serialize(nil, Dot1Q{PCP: 9}); err == nil {
+		t.Fatal("want PCP range error")
+	}
+}
+
+func TestARPRoundTrip(t *testing.T) {
+	a := ARP{
+		Op:        ARPRequest,
+		SenderMAC: mac(9),
+		SenderIP:  addr("10.0.0.1"),
+		TargetMAC: MAC{},
+		TargetIP:  addr("10.0.0.2"),
+	}
+	data, err := Serialize(nil, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, _, err := DecodeARP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != a || n != 28 {
+		t.Fatalf("got %+v n=%d", got, n)
+	}
+}
+
+func TestARPRejectsIPv6(t *testing.T) {
+	a := ARP{Op: ARPRequest, SenderIP: addr("::1"), TargetIP: addr("10.0.0.2")}
+	if _, err := Serialize(nil, a); err == nil {
+		t.Fatal("want error for IPv6 address in ARP")
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := IPv4{
+		TOS: 0x10, ID: 4242, DontFrag: true, TTL: 63,
+		Proto: ProtoGRE,
+		Src:   addr("204.9.168.1"), Dst: addr("204.9.169.1"),
+	}
+	payload := []byte("hello world")
+	data, err := Serialize(payload, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, next, err := DecodeIPv4(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != ip {
+		t.Fatalf("got %+v want %+v", got, ip)
+	}
+	if n != 20 || next != LayerTypeGRE {
+		t.Fatalf("n=%d next=%v", n, next)
+	}
+	if !bytes.Equal(data[n:], payload) {
+		t.Fatal("payload mangled")
+	}
+}
+
+func TestIPv4ChecksumDetectsCorruption(t *testing.T) {
+	ip := IPv4{TTL: 64, Proto: ProtoUDP, Src: addr("1.2.3.4"), Dst: addr("5.6.7.8")}
+	data, err := Serialize(nil, ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[8] ^= 0xff // flip TTL
+	if _, _, _, err := DecodeIPv4(data); err == nil {
+		t.Fatal("want checksum error")
+	}
+}
+
+func TestIPv4BadVersion(t *testing.T) {
+	data := make([]byte, 20)
+	data[0] = 0x65
+	if _, _, _, err := DecodeIPv4(data); err == nil {
+		t.Fatal("want version error")
+	}
+}
+
+func TestGRERoundTripAllFlagCombos(t *testing.T) {
+	for i := 0; i < 8; i++ {
+		g := GRE{
+			ChecksumPresent: i&1 != 0,
+			KeyPresent:      i&2 != 0,
+			SeqPresent:      i&4 != 0,
+			Proto:           EtherTypeIPv4,
+		}
+		if g.KeyPresent {
+			g.Key = 1001
+		}
+		if g.SeqPresent {
+			g.Seq = 77
+		}
+		payload := []byte{1, 2, 3, 4, 5}
+		data, err := Serialize(payload, g)
+		if err != nil {
+			t.Fatalf("combo %d: %v", i, err)
+		}
+		got, n, next, err := DecodeGRE(data)
+		if err != nil {
+			t.Fatalf("combo %d: %v", i, err)
+		}
+		if got != g {
+			t.Fatalf("combo %d: got %+v want %+v", i, got, g)
+		}
+		if next != LayerTypeIPv4 {
+			t.Fatalf("combo %d: next=%v", i, next)
+		}
+		if !bytes.Equal(data[n:], payload) {
+			t.Fatalf("combo %d: payload mangled", i)
+		}
+	}
+}
+
+func TestGREChecksumDetectsCorruption(t *testing.T) {
+	g := GRE{ChecksumPresent: true, KeyPresent: true, Key: 5, Proto: EtherTypeIPv4}
+	data, err := Serialize([]byte("x"), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x55
+	if _, _, _, err := DecodeGRE(data); err == nil {
+		t.Fatal("want GRE checksum error")
+	}
+}
+
+func TestMPLSRoundTrip(t *testing.T) {
+	m := MPLS{Entries: []MPLSEntry{
+		{Label: 10001, TC: 3, TTL: 64},
+		{Label: 2001, TTL: 64},
+	}}
+	inner := IPv4{TTL: 10, Proto: ProtoProbe, Src: addr("10.0.1.1"), Dst: addr("10.0.2.1")}
+	data, err := Serialize(nil, m, inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, next, err := DecodeMPLS(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Entries) != 2 {
+		t.Fatalf("entries = %d", len(got.Entries))
+	}
+	if got.Entries[0].Label != 10001 || got.Entries[0].S {
+		t.Fatalf("top entry %+v", got.Entries[0])
+	}
+	if got.Entries[1].Label != 2001 || !got.Entries[1].S {
+		t.Fatalf("bottom entry %+v", got.Entries[1])
+	}
+	if n != 8 || next != LayerTypeIPv4 {
+		t.Fatalf("n=%d next=%v", n, next)
+	}
+}
+
+func TestMPLSValidation(t *testing.T) {
+	if _, err := Serialize(nil, MPLS{}); err == nil {
+		t.Fatal("want empty-stack error")
+	}
+	if _, err := Serialize(nil, MPLS{Entries: []MPLSEntry{{Label: 1 << 21}}}); err == nil {
+		t.Fatal("want label range error")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	u := UDP{Src: 500, Dst: 592}
+	payload := []byte("ike-ish")
+	data, err := Serialize(payload, u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, _, err := DecodeUDP(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != u || n != 8 {
+		t.Fatalf("got %+v n=%d", got, n)
+	}
+	if !bytes.Equal(data[n:], payload) {
+		t.Fatal("payload mangled")
+	}
+}
+
+func TestProbeRoundTrip(t *testing.T) {
+	p := Probe{Op: ProbeEcho, Token: 0xdeadbeef}
+	data, err := Serialize(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := DecodeProbe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != p {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestDecodeFullStackGREOverIP(t *testing.T) {
+	// The exact on-the-wire nesting of the paper's Fig 2/7 GRE path:
+	// ETH | IP(outer) | GRE | IP(inner) | Probe
+	inner := IPv4{TTL: 64, Proto: ProtoProbe, Src: addr("10.0.1.1"), Dst: addr("10.0.2.1")}
+	gre := GRE{KeyPresent: true, Key: 2001, SeqPresent: true, Seq: 1, Proto: EtherTypeIPv4}
+	outer := IPv4{TTL: 64, Proto: ProtoGRE, Src: addr("204.9.168.1"), Dst: addr("204.9.169.1")}
+	eth := Ethernet{Dst: mac(3), Src: mac(4), Type: EtherTypeIPv4}
+	data, err := Serialize(nil, eth, outer, gre, inner, Probe{Op: ProbeEcho, Token: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(data, LayerTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Ethernet > IPv4 > GRE > IPv4 > Probe"
+	if got := d.Summary(); got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+	g := d.Layer(LayerTypeGRE).(GRE)
+	if g.Key != 2001 || g.Seq != 1 {
+		t.Fatalf("GRE layer %+v", g)
+	}
+	if d.Layer(LayerTypeMPLS) != nil {
+		t.Fatal("unexpected MPLS layer")
+	}
+}
+
+func TestDecodeFullStackVLAN(t *testing.T) {
+	// QinQ as in Fig 9: ETH | 802.1Q(outer, ISP VLAN 22) | 802.1Q(customer) | IP
+	ip := IPv4{TTL: 9, Proto: ProtoProbe, Src: addr("10.0.1.1"), Dst: addr("10.0.2.1")}
+	inner := Dot1Q{VID: 7, Type: EtherTypeIPv4}
+	outer := Dot1Q{VID: 22, Type: EtherTypeDot1Q}
+	eth := Ethernet{Dst: mac(8), Src: mac(9), Type: EtherTypeDot1Q}
+	data, err := Serialize(nil, eth, outer, inner, ip, Probe{Op: ProbeEcho})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Decode(data, LayerTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "Ethernet > Dot1Q > Dot1Q > IPv4 > Probe"
+	if got := d.Summary(); got != want {
+		t.Fatalf("summary = %q, want %q", got, want)
+	}
+}
+
+func TestDecodeErrorPropagates(t *testing.T) {
+	eth := Ethernet{Dst: mac(1), Src: mac(2), Type: EtherTypeIPv4}
+	data, err := Serialize([]byte{0x45}, eth) // truncated IPv4
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(data, LayerTypeEthernet); err == nil {
+		t.Fatal("want decode error")
+	}
+}
+
+func TestChecksumKnownVector(t *testing.T) {
+	// RFC 1071 example-style vector: checksum of a block containing its
+	// own correct checksum is zero.
+	data := []byte{0x45, 0x00, 0x00, 0x28, 0x12, 0x34, 0x40, 0x00, 0x40, 0x06,
+		0x00, 0x00, 0xc0, 0xa8, 0x00, 0x01, 0xc0, 0xa8, 0x00, 0x02}
+	c := Checksum(data)
+	data[10] = byte(c >> 8)
+	data[11] = byte(c)
+	if Checksum(data) != 0 {
+		t.Fatal("checksum of self-checksummed block must be 0")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Property-based tests (testing/quick)
+
+func ipv4ForQuick(r *rand.Rand) IPv4 {
+	var s, d [4]byte
+	r.Read(s[:])
+	r.Read(d[:])
+	return IPv4{
+		TOS:      uint8(r.Intn(256)),
+		ID:       uint16(r.Intn(1 << 16)),
+		DontFrag: r.Intn(2) == 0,
+		TTL:      uint8(r.Intn(256)),
+		Proto:    IPProto(r.Intn(256)),
+		Src:      netip.AddrFrom4(s),
+		Dst:      netip.AddrFrom4(d),
+	}
+}
+
+func TestQuickIPv4RoundTrip(t *testing.T) {
+	f := func(seed int64, payloadLen uint16) bool {
+		r := rand.New(rand.NewSource(seed))
+		ip := ipv4ForQuick(r)
+		payload := make([]byte, int(payloadLen)%1400)
+		r.Read(payload)
+		data, err := Serialize(payload, ip)
+		if err != nil {
+			return false
+		}
+		got, n, _, err := DecodeIPv4(data)
+		return err == nil && got == ip && bytes.Equal(data[n:], payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGRERoundTrip(t *testing.T) {
+	f := func(flags uint8, key, seq uint32, payload []byte) bool {
+		g := GRE{
+			ChecksumPresent: flags&1 != 0,
+			KeyPresent:      flags&2 != 0,
+			SeqPresent:      flags&4 != 0,
+			Proto:           EtherTypeIPv4,
+		}
+		if g.KeyPresent {
+			g.Key = key
+		}
+		if g.SeqPresent {
+			g.Seq = seq
+		}
+		data, err := Serialize(payload, g)
+		if err != nil {
+			return false
+		}
+		got, n, _, err := DecodeGRE(data)
+		return err == nil && got == g && bytes.Equal(data[n:], payload)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickMPLSRoundTrip(t *testing.T) {
+	f := func(labels []uint32, ttl uint8) bool {
+		if len(labels) == 0 {
+			return true
+		}
+		if len(labels) > 16 {
+			labels = labels[:16]
+		}
+		m := MPLS{}
+		for _, l := range labels {
+			m.Entries = append(m.Entries, MPLSEntry{Label: l % (1 << 20), TTL: ttl})
+		}
+		data, err := Serialize([]byte{0x45}, m) // payload first nibble 4 => IPv4 next
+		if err != nil {
+			return false
+		}
+		got, _, next, err := DecodeMPLS(data)
+		if err != nil || next != LayerTypeIPv4 {
+			return false
+		}
+		if len(got.Entries) != len(m.Entries) {
+			return false
+		}
+		for i := range got.Entries {
+			wantS := i == len(m.Entries)-1
+			if got.Entries[i].Label != m.Entries[i].Label || got.Entries[i].S != wantS {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDot1QRoundTrip(t *testing.T) {
+	f := func(pcp uint8, dei bool, vid uint16) bool {
+		q := Dot1Q{PCP: pcp % 8, DEI: dei, VID: vid % 4096, Type: EtherTypeIPv4}
+		data, err := Serialize(nil, q)
+		if err != nil {
+			return false
+		}
+		got, _, _, err := DecodeDot1Q(data)
+		return err == nil && got == q
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickChecksumIncremental(t *testing.T) {
+	// Property: appending the ones-complement checksum as a trailing
+	// 16-bit word makes the overall checksum zero (even-length blocks).
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0)
+		}
+		c := Checksum(data)
+		whole := append(append([]byte{}, data...), byte(c>>8), byte(c))
+		return Checksum(whole) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickDecodeNeverPanics(t *testing.T) {
+	// Fuzz-ish robustness: Decode must return an error, never panic, on
+	// arbitrary input from any starting layer.
+	f := func(data []byte, start uint8) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %v: %v", data, r)
+			}
+		}()
+		_, _ = Decode(data, LayerType(start%uint8(LayerTypePayload+1)))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSerializeReflectsLayerOrder(t *testing.T) {
+	// Serialize with outermost-first ordering must equal manual prepends
+	// in reverse order.
+	eth := Ethernet{Dst: mac(1), Src: mac(2), Type: EtherTypeIPv4}
+	ip := IPv4{TTL: 64, Proto: ProtoProbe, Src: addr("1.1.1.1"), Dst: addr("2.2.2.2")}
+	p := Probe{Op: ProbeEcho, Token: 1}
+	want, err := Serialize(nil, eth, ip, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := NewBuffer(nil)
+	for _, l := range []SerializableLayer{p, ip, eth} {
+		if err := l.SerializeTo(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(want, b.Bytes()) {
+		t.Fatal("Serialize disagrees with manual prepends")
+	}
+	if !reflect.DeepEqual(want[:14], b.Bytes()[:14]) {
+		t.Fatal("header bytes differ")
+	}
+}
