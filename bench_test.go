@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/netip"
 	"testing"
+	"time"
 
 	"conman/internal/channel"
 	"conman/internal/core"
@@ -318,4 +319,71 @@ func BenchmarkPacketCodec(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Scale suite: sequential vs concurrent NM on linear-n chains
+
+// simRTT emulates the propagation delay of a real management channel
+// (the paper's separate management NIC). Sequential configuration pays
+// it once per message in series; the concurrent NM overlaps it.
+const simRTT = 200 * time.Microsecond
+
+func BenchmarkLinearDiscover(b *testing.B) {
+	sc, err := experiments.LinearScenarioByName("GRE")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{32, 64} {
+		for _, mode := range []string{"sequential", "concurrent"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				tb, err := sc.Build(n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				tb.NM.Sequential = mode == "sequential"
+				tb.NM.Workers = 64
+				tb.Hub.SetLatency(simRTT)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := tb.NM.DiscoverAll(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkLinearConfigure(b *testing.B) {
+	sc, err := experiments.LinearScenarioByName("GRE")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{16, 64, 128} {
+		for _, mode := range []string{"sequential", "concurrent"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					// Execution mutates device state, so each iteration
+					// configures a freshly built chain.
+					tb, err := sc.Build(n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tb.NM.Sequential = mode == "sequential"
+					tb.NM.Workers = 64
+					scripts, err := sc.PlanLinear(tb, n)
+					if err != nil {
+						b.Fatal(err)
+					}
+					tb.Hub.SetLatency(simRTT)
+					b.StartTimer()
+					if err := tb.NM.Execute(scripts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
 }

@@ -24,6 +24,30 @@
 //   - every table and figure of the paper's evaluation
 //     (internal/experiments), regenerable via cmd/conman
 //
+// # Concurrency
+//
+// The NM fans configuration out across devices: DiscoverAll queries all
+// devices on a bounded worker pool, and Execute groups DeviceScripts
+// into dependency waves — scripts on distinct devices run concurrently,
+// while a device appearing more than once keeps its batches in order.
+// Module peering is unaffected because the initiator rule keys on module
+// references, not arrival order, so the message Counters (Table VI) are
+// byte-identical to sequential execution. Two knobs control this:
+//
+//   - NM.Sequential: set true to restore strict one-device-at-a-time
+//     operation (the paper's original accounting mode, and a fallback
+//     for channels that cannot carry concurrent traffic).
+//   - NM.Workers: bounds the fan-out per wave; zero selects
+//     nm.DefaultWorkers (16).
+//
+// Both are read without locking and must be set before the first
+// DiscoverAll/Execute call. The whole stack (channel hub, device MAs,
+// protocol modules, kernels, netsim) is safe under `go test -race` with
+// concurrent NM calls. For experiments, Hub.SetLatency emulates a real
+// management network's propagation delay; the BenchmarkLinearDiscover /
+// BenchmarkLinearConfigure suites use it to compare the two modes on
+// chains up to n=128.
+//
 // This facade re-exports the types most users need; see the examples/
 // directory for runnable scenarios.
 package conman

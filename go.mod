@@ -1,0 +1,3 @@
+module conman
+
+go 1.21

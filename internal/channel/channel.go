@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"conman/internal/msg"
 )
@@ -47,8 +48,9 @@ var ErrUnknownDestination = errors.New("channel: unknown destination")
 
 // Hub is an in-process management channel with synchronous delivery.
 type Hub struct {
-	mu  sync.Mutex
-	eps map[string]*hubEndpoint
+	mu      sync.Mutex
+	eps     map[string]*hubEndpoint
+	latency time.Duration
 }
 
 // NewHub creates an empty hub.
@@ -63,6 +65,19 @@ type hubEndpoint struct {
 	mu      sync.Mutex
 	handler Handler
 	closed  bool
+}
+
+// SetLatency installs an artificial per-delivery latency (zero by
+// default), modelling the propagation delay of a real management
+// network. Each Send sleeps for d on the caller's goroutine before
+// delivering, so latency accumulates along synchronous message cascades
+// exactly as round trips would on the wire. Concurrent senders pay it in
+// parallel — the scale benchmarks use this to expose the wall-clock gap
+// between sequential and concurrent NM configuration.
+func (h *Hub) SetLatency(d time.Duration) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.latency = d
 }
 
 // Endpoint attaches a named endpoint to the hub.
@@ -91,9 +106,13 @@ func (e *hubEndpoint) Send(env msg.Envelope) error {
 	}
 	e.hub.mu.Lock()
 	dst, ok := e.hub.eps[env.To]
+	latency := e.hub.latency
 	e.hub.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownDestination, env.To)
+	}
+	if latency > 0 {
+		time.Sleep(latency)
 	}
 	dst.mu.Lock()
 	h := dst.handler

@@ -16,8 +16,19 @@ import (
 
 // rid names the k-th router (1-based) with zero padding so lexicographic
 // device order matches path order (the modules' initiator rule relies on
-// it, as the paper's implicit ordering does on device identity).
-func rid(k int) core.DeviceID { return core.DeviceID(fmt.Sprintf("R%02d", k)) }
+// it, as the paper's implicit ordering does on device identity). Three
+// digits keep the ordering correct up to n=999 for the scale suite.
+func rid(k int) core.DeviceID { return core.DeviceID(fmt.Sprintf("R%03d", k)) }
+
+// Chain wiring convention: every router attaches to its left neighbour
+// (toward customer site D) on chainLeft and to its right neighbour
+// (toward site E) on chainRight. The boundary cases fall out of the same
+// rule: R1's chainLeft port and Rn's chainRight port face the customer
+// routers and are therefore the external edge ports.
+const (
+	chainLeft  = "eth0"
+	chainRight = "eth1"
+)
 
 // linkSubnet returns the ISP /24 for the link between router k and k+1.
 func linkSubnet(k int) (left, right netip.Prefix) {
@@ -61,21 +72,21 @@ func (tb *Testbed) startAll() error {
 	return tb.NM.DiscoverAll()
 }
 
-func (tb *Testbed) wire(n int, leftPort, rightPort string) error {
+func (tb *Testbed) wire(n int) error {
 	if err := connect(tb.Net, "D-R1",
 		netsim.PortID{Device: "D", Name: "eth0"},
-		netsim.PortID{Device: rid(1), Name: leftPort}); err != nil {
+		netsim.PortID{Device: rid(1), Name: chainLeft}); err != nil {
 		return err
 	}
 	for k := 1; k < n; k++ {
 		if err := connect(tb.Net, fmt.Sprintf("R%d-R%d", k, k+1),
-			netsim.PortID{Device: rid(k), Name: rightPort},
-			netsim.PortID{Device: rid(k + 1), Name: leftPort}); err != nil {
+			netsim.PortID{Device: rid(k), Name: chainRight},
+			netsim.PortID{Device: rid(k + 1), Name: chainLeft}); err != nil {
 			return err
 		}
 	}
 	return connect(tb.Net, "Rn-E",
-		netsim.PortID{Device: rid(n), Name: rightPort},
+		netsim.PortID{Device: rid(n), Name: chainRight},
 		netsim.PortID{Device: "E", Name: "eth0"})
 }
 
@@ -96,9 +107,9 @@ func BuildLinearGRE(n int) (*Testbed, error) {
 		}
 		tb.Devices[rid(k)] = dev
 		edge := k == 1 || k == n
-		custIface, coreIface := "eth0", "eth1"
+		custIface, coreIface := chainLeft, chainRight
 		if k == n {
-			custIface, coreIface = "eth1", "eth0"
+			custIface, coreIface = chainRight, chainLeft
 		}
 
 		e0 := modules.NewETH(dev.MA, "e0", false, "eth0")
@@ -122,11 +133,11 @@ func BuildLinearGRE(n int) (*Testbed, error) {
 		ispAddrs := map[string]netip.Prefix{}
 		if k > 1 {
 			_, right := linkSubnet(k - 1)
-			ispAddrs[leftIface(k, n)] = right
+			ispAddrs[chainLeft] = right
 		}
 		if k < n {
 			left, _ := linkSubnet(k)
-			ispAddrs[rightIface(k, n)] = left
+			ispAddrs[chainRight] = left
 		}
 		if edge {
 			custAddr := pfx("192.168.0.2/24")
@@ -152,21 +163,13 @@ func BuildLinearGRE(n int) (*Testbed, error) {
 			dev.AddModule(ips)
 		}
 	}
-	if err := tb.wire(n, "eth0", "eth1"); err != nil {
+	if err := tb.wire(n); err != nil {
 		return nil, err
 	}
 	if err := tb.startAll(); err != nil {
 		return nil, err
 	}
 	return tb, nil
-}
-
-func leftIface(k, n int) string { return "eth0" }
-func rightIface(k, n int) string {
-	if k == n {
-		return "eth0"
-	}
-	return "eth1"
 }
 
 // BuildLinearMPLS builds a chain of n routers: edge routers carry the
@@ -187,9 +190,9 @@ func BuildLinearMPLS(n int) (*Testbed, error) {
 		}
 		tb.Devices[rid(k)] = dev
 		edge := k == 1 || k == n
-		custIface := "eth0"
+		custIface := chainLeft
 		if k == n {
-			custIface = "eth1"
+			custIface = chainRight
 		}
 		e0 := modules.NewETH(dev.MA, "e0", false, "eth0")
 		e1 := modules.NewETH(dev.MA, "e1", false, "eth1")
@@ -236,7 +239,7 @@ func BuildLinearMPLS(n int) (*Testbed, error) {
 		}
 		dev.AddModule(modules.NewMPLS(dev.MA, "mpls", uint32(1000*(k+1)+1)))
 	}
-	if err := tb.wire(n, "eth0", "eth1"); err != nil {
+	if err := tb.wire(n); err != nil {
 		return nil, err
 	}
 	if err := tb.startAll(); err != nil {
@@ -264,9 +267,9 @@ func BuildLinearVLAN(n int) (*Testbed, error) {
 
 	for k := 1; k <= n; k++ {
 		edge := k == 1 || k == n
-		custIface := "eth0"
+		custIface := chainLeft
 		if k == n {
-			custIface = "eth1"
+			custIface = chainRight
 		}
 		dev, err := device.New(tb.Net, rid(k), kernel.RoleSwitch, "eth0", "eth1")
 		if err != nil {
@@ -283,7 +286,7 @@ func BuildLinearVLAN(n int) (*Testbed, error) {
 		dev.AddModule(eth)
 		dev.AddModule(modules.NewVLAN(dev.MA, "vlan", 22, "C1", 1504))
 	}
-	if err := tb.wire(n, "eth0", "eth1"); err != nil {
+	if err := tb.wire(n); err != nil {
 		return nil, err
 	}
 	if err := tb.startAll(); err != nil {

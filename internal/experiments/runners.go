@@ -356,67 +356,26 @@ func (r Table6Row) Matches() bool {
 
 // Table6 sweeps chain lengths and measures the NM's configuration
 // messages, comparing them to the paper's closed forms: GRE 3n+2 / 2n+2,
-// MPLS 3n-2 / 2n-1, VLAN 3n-2 / 2n-1.
+// MPLS 3n-2 / 2n-1, VLAN 3n-2 / 2n-1. The paper's accounting runs were
+// strictly sequential, so Table6 pins NM.Sequential; the scale tests
+// assert the concurrent executor produces the same counters.
 func Table6(ns []int) ([]Table6Row, string, error) {
 	var rows []Table6Row
 	for _, n := range ns {
-		for _, sc := range []struct {
-			name  string
-			build func(int) (*Testbed, error)
-			desc  string
-			tag   bool
-			ws    func(int) int
-			wr    func(int) int
-		}{
-			{"GRE", BuildLinearGRE, "GRE-IP tunnel", false,
-				func(n int) int { return 3*n + 2 }, func(n int) int { return 2*n + 2 }},
-			{"MPLS", BuildLinearMPLS, "MPLS", false,
-				func(n int) int { return 3*n - 2 }, func(n int) int { return 2*n - 1 }},
-			{"VLAN", BuildLinearVLAN, "VLAN tunnel", true,
-				func(n int) int { return 3*n - 2 }, func(n int) int { return 2*n - 1 }},
-		} {
-			tb, err := sc.build(n)
+		for _, sc := range LinearScenarios() {
+			tb, err := sc.Build(n)
 			if err != nil {
-				return nil, "", fmt.Errorf("%s n=%d: %w", sc.name, n, err)
+				return nil, "", fmt.Errorf("%s n=%d: %w", sc.Name, n, err)
 			}
-			g, err := nm.BuildGraph(tb.NM)
-			if err != nil {
+			tb.NM.Sequential = true
+			if _, err := sc.ConfigureLinear(tb, n); err != nil {
 				return nil, "", err
-			}
-			goal := LinearGoal(n, sc.tag)
-			paths, _, err := g.FindPaths(nm.FindSpec{
-				From: goal.From, To: goal.To, TrafficDomain: goal.TrafficDomain,
-			})
-			if err != nil {
-				return nil, "", fmt.Errorf("%s n=%d: %w", sc.name, n, err)
-			}
-			var chosen *nm.Path
-			for _, p := range paths {
-				if p.Describe() == sc.desc {
-					chosen = p
-					break
-				}
-			}
-			if chosen == nil {
-				var got []string
-				for _, p := range paths {
-					got = append(got, p.Describe())
-				}
-				return nil, "", fmt.Errorf("%s n=%d: no %q path among %v", sc.name, n, sc.desc, got)
-			}
-			scripts, err := tb.NM.Compile(chosen, goal)
-			if err != nil {
-				return nil, "", err
-			}
-			tb.NM.ResetCounters()
-			if err := tb.NM.Execute(scripts); err != nil {
-				return nil, "", fmt.Errorf("%s n=%d: %w", sc.name, n, err)
 			}
 			c := tb.NM.Counters()
 			rows = append(rows, Table6Row{
-				Scenario: sc.name, N: n,
+				Scenario: sc.Name, N: n,
 				Sent: c.Sent(), Received: c.Received(),
-				WantSent: sc.ws(n), WantReceived: sc.wr(n),
+				WantSent: sc.WantSent(n), WantReceived: sc.WantRecv(n),
 			})
 		}
 	}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+
+	"conman/internal/nm"
+)
+
+// LinearScenario is one Table VI row: a linear-n topology builder, the
+// path flavour configured on it, and the paper's closed-form message
+// counts.
+type LinearScenario struct {
+	Name     string
+	PathDesc string
+	Build    func(n int) (*Testbed, error)
+	// Tag marks the L2 scenarios whose goal uses the Tagged
+	// classification (Fig 9b).
+	Tag bool
+	// WantSent / WantRecv are the paper's formulas for configuration
+	// messages the NM sends / receives on a chain of n devices.
+	WantSent func(n int) int
+	WantRecv func(n int) int
+}
+
+// LinearScenarios returns the three Table VI scenarios: GRE (3n+2 sent /
+// 2n+2 received), MPLS and VLAN (both 3n-2 / 2n-1).
+func LinearScenarios() []LinearScenario {
+	return []LinearScenario{
+		{
+			Name: "GRE", PathDesc: "GRE-IP tunnel", Build: BuildLinearGRE,
+			WantSent: func(n int) int { return 3*n + 2 },
+			WantRecv: func(n int) int { return 2*n + 2 },
+		},
+		{
+			Name: "MPLS", PathDesc: "MPLS", Build: BuildLinearMPLS,
+			WantSent: func(n int) int { return 3*n - 2 },
+			WantRecv: func(n int) int { return 2*n - 1 },
+		},
+		{
+			Name: "VLAN", PathDesc: "VLAN tunnel", Build: BuildLinearVLAN, Tag: true,
+			WantSent: func(n int) int { return 3*n - 2 },
+			WantRecv: func(n int) int { return 2*n - 1 },
+		},
+	}
+}
+
+// LinearScenarioByName fetches a scenario ("GRE", "MPLS", "VLAN").
+func LinearScenarioByName(name string) (LinearScenario, error) {
+	for _, sc := range LinearScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return LinearScenario{}, fmt.Errorf("experiments: no linear scenario %q", name)
+}
+
+// PlanLinear finds and compiles the scenario's path on a built linear-n
+// testbed without executing it, so callers can time or inspect execution
+// separately.
+func (sc LinearScenario) PlanLinear(tb *Testbed, n int) ([]nm.DeviceScript, error) {
+	g, err := nm.BuildGraph(tb.NM)
+	if err != nil {
+		return nil, err
+	}
+	goal := LinearGoal(n, sc.Tag)
+	paths, _, err := g.FindPaths(nmSpec(goal))
+	if err != nil {
+		return nil, fmt.Errorf("%s n=%d: %w", sc.Name, n, err)
+	}
+	chosen := pathWith(paths, sc.PathDesc)
+	if chosen == nil {
+		var got []string
+		for _, p := range paths {
+			got = append(got, p.Describe())
+		}
+		return nil, fmt.Errorf("%s n=%d: no %q path among %v", sc.Name, n, sc.PathDesc, got)
+	}
+	return tb.NM.Compile(chosen, goal)
+}
+
+// ConfigureLinear plans and executes the scenario on a built linear-n
+// testbed. Counters are reset before execution so tb.NM.Counters()
+// afterwards holds configuration traffic only (the Table VI accounting).
+func (sc LinearScenario) ConfigureLinear(tb *Testbed, n int) ([]nm.DeviceScript, error) {
+	scripts, err := sc.PlanLinear(tb, n)
+	if err != nil {
+		return nil, err
+	}
+	tb.NM.ResetCounters()
+	if err := tb.NM.Execute(scripts); err != nil {
+		return scripts, fmt.Errorf("%s n=%d: %w", sc.Name, n, err)
+	}
+	return scripts, nil
+}

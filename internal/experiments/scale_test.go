@@ -1,0 +1,235 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"conman/internal/netsim"
+	"conman/internal/nm"
+)
+
+// configureWithMode builds a fresh linear-n testbed and configures it in
+// the given execution mode, returning the testbed and its counters.
+func configureWithMode(t *testing.T, sc LinearScenario, n int, sequential bool) (*Testbed, nm.Counters) {
+	t.Helper()
+	tb, err := sc.Build(n)
+	if err != nil {
+		t.Fatalf("%s n=%d build: %v", sc.Name, n, err)
+	}
+	tb.NM.Sequential = sequential
+	if _, err := sc.ConfigureLinear(tb, n); err != nil {
+		t.Fatalf("%s n=%d (sequential=%v): %v", sc.Name, n, sequential, err)
+	}
+	return tb, tb.NM.Counters()
+}
+
+// TestTableVIInvariantsAtScale asserts the paper's message-count
+// formulas hold for n in {4, 8, 16, 32} in BOTH execution modes, and
+// that the concurrent executor's counters are byte-identical to the
+// sequential ones (the concurrency refactor must not change the
+// protocol, only the wall clock).
+func TestTableVIInvariantsAtScale(t *testing.T) {
+	ns := []int{4, 8, 16, 32}
+	for _, sc := range LinearScenarios() {
+		for _, n := range ns {
+			t.Run(fmt.Sprintf("%s/n=%d", sc.Name, n), func(t *testing.T) {
+				_, seq := configureWithMode(t, sc, n, true)
+				_, conc := configureWithMode(t, sc, n, false)
+				if seq.Sent() != sc.WantSent(n) || seq.Received() != sc.WantRecv(n) {
+					t.Errorf("sequential: sent %d (want %d), received %d (want %d)",
+						seq.Sent(), sc.WantSent(n), seq.Received(), sc.WantRecv(n))
+				}
+				if conc != seq {
+					t.Errorf("concurrent counters %+v differ from sequential %+v", conc, seq)
+				}
+			})
+		}
+	}
+}
+
+// TestConcurrentConfigureDelivers checks end-to-end byte-level probe
+// delivery D -> E after a CONCURRENT configuration run. MPLS forwards by
+// label switching and VLAN by L2 flooding, so both work at any chain
+// length; GRE transit needs IP reachability between the tunnel
+// endpoints, which without an IGP only holds at the paper's n=3.
+func TestConcurrentConfigureDelivers(t *testing.T) {
+	cases := []struct {
+		scenario string
+		n        int
+	}{
+		{"GRE", 3},
+		{"MPLS", 3},
+		{"MPLS", 16},
+		{"VLAN", 3},
+		{"VLAN", 16},
+	}
+	for i, c := range cases {
+		t.Run(fmt.Sprintf("%s/n=%d", c.scenario, c.n), func(t *testing.T) {
+			sc, err := LinearScenarioByName(c.scenario)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, _ := configureWithMode(t, sc, c.n, false)
+			if err := tb.VerifyConnectivity(uint32(70000 + 100*i)); err != nil {
+				t.Errorf("probe after concurrent configure: %v", err)
+			}
+		})
+	}
+}
+
+// TestDiscoverAllConcurrentMatchesSequential builds the same chain twice
+// and checks the NM ends up with identical device and module knowledge
+// either way.
+func TestDiscoverAllConcurrentMatchesSequential(t *testing.T) {
+	build := func(sequential bool) *Testbed {
+		tb, err := BuildLinearGRE(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.NM.Sequential = sequential
+		// startAll already discovered; re-run in the mode under test.
+		if err := tb.NM.DiscoverAll(); err != nil {
+			t.Fatal(err)
+		}
+		return tb
+	}
+	seqTB, concTB := build(true), build(false)
+	seqDevs, concDevs := seqTB.NM.Devices(), concTB.NM.Devices()
+	if len(seqDevs) != len(concDevs) {
+		t.Fatalf("device counts differ: %d vs %d", len(seqDevs), len(concDevs))
+	}
+	for i := range seqDevs {
+		if seqDevs[i] != concDevs[i] {
+			t.Fatalf("device order differs at %d: %s vs %s", i, seqDevs[i], concDevs[i])
+		}
+		si, _ := seqTB.NM.Device(seqDevs[i])
+		ci, _ := concTB.NM.Device(concDevs[i])
+		if len(si.Modules) != len(ci.Modules) {
+			t.Errorf("%s: module counts differ: %d vs %d", seqDevs[i], len(si.Modules), len(ci.Modules))
+			continue
+		}
+		for j := range si.Modules {
+			if si.Modules[j].Ref != ci.Modules[j].Ref {
+				t.Errorf("%s module %d: %s vs %s", seqDevs[i], j, si.Modules[j].Ref, ci.Modules[j].Ref)
+			}
+		}
+	}
+}
+
+// TestChainBoundaryWiring pins the chain-orientation rule down: R1's
+// chainLeft port and Rn's chainRight port are the external edge ports,
+// every other router port carries an ISP link, and interior routers are
+// wired left-to-right neighbour by neighbour.
+func TestChainBoundaryWiring(t *testing.T) {
+	const n = 4
+	tb, err := BuildLinearGRE(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= n; k++ {
+		dev := tb.Devices[rid(k)]
+		if dev == nil {
+			t.Fatalf("no device %s", rid(k))
+		}
+		wantExternal := map[string]bool{}
+		if k == 1 {
+			wantExternal[chainLeft] = true
+		}
+		if k == n {
+			wantExternal[chainRight] = true
+		}
+		for _, port := range []string{chainLeft, chainRight} {
+			if got := dev.IsExternal(port); got != wantExternal[port] {
+				t.Errorf("%s %s: external=%v, want %v", rid(k), port, got, wantExternal[port])
+			}
+		}
+		// Interior-facing ports carry the ISP link addresses.
+		if k > 1 {
+			if _, ok := dev.Kernel.AddrOf(chainLeft); !ok {
+				t.Errorf("%s %s: missing left ISP link address", rid(k), chainLeft)
+			}
+		}
+		if k < n {
+			if _, ok := dev.Kernel.AddrOf(chainRight); !ok {
+				t.Errorf("%s %s: missing right ISP link address", rid(k), chainRight)
+			}
+		}
+	}
+	// Neighbour wiring: R_k's chainRight faces R_{k+1}'s chainLeft.
+	for k := 1; k < n; k++ {
+		peers, err := tb.Net.Neighbor(netsim.PortID{Device: rid(k), Name: chainRight})
+		if err != nil || len(peers) != 1 {
+			t.Fatalf("R%d right neighbour: %v %v", k, peers, err)
+		}
+		want := netsim.PortID{Device: rid(k + 1), Name: chainLeft}
+		if peers[0] != want {
+			t.Errorf("R%d right neighbour = %v, want %v", k, peers[0], want)
+		}
+	}
+}
+
+// TestLargeChainConcurrent is the large-n smoke: build and concurrently
+// configure n=64 (and n=128 unless -short), checking the Table VI
+// formulas keep holding linearly far beyond the paper's lab scale.
+func TestLargeChainConcurrent(t *testing.T) {
+	ns := []int{64}
+	if !testing.Short() {
+		ns = append(ns, 128)
+	}
+	sc, err := LinearScenarioByName("GRE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range ns {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			_, c := configureWithMode(t, sc, n, false)
+			if c.Sent() != sc.WantSent(n) || c.Received() != sc.WantRecv(n) {
+				t.Errorf("sent %d (want %d), received %d (want %d)",
+					c.Sent(), sc.WantSent(n), c.Received(), sc.WantRecv(n))
+			}
+		})
+	}
+}
+
+// TestConcurrentFasterOnLatentChannel pins the point of the refactor: on
+// a management channel with non-zero latency, concurrent execution beats
+// sequential by a wide margin. The threshold is deliberately loose (2x
+// is the acceptance bar; the typical ratio is ~10x) to stay robust on
+// loaded CI machines.
+func TestConcurrentFasterOnLatentChannel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	const (
+		n       = 32
+		latency = 200 * time.Microsecond
+	)
+	sc, err := LinearScenarioByName("GRE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(sequential bool) time.Duration {
+		tb, err := sc.Build(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.NM.Sequential = sequential
+		tb.NM.Workers = n
+		scripts, err := sc.PlanLinear(tb, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.Hub.SetLatency(latency)
+		start := time.Now()
+		if err := tb.NM.Execute(scripts); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	seq, conc := run(true), run(false)
+	if conc*2 > seq {
+		t.Errorf("concurrent execute %v not at least 2x faster than sequential %v", conc, seq)
+	}
+	t.Logf("n=%d latency=%v: sequential %v, concurrent %v (%.1fx)", n, latency, seq, conc, float64(seq)/float64(conc))
+}

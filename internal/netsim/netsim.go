@@ -283,6 +283,12 @@ func (n *Network) RxCount(id PortID) uint64 {
 // pump is running, Send pumps the queue to quiescence before returning, so
 // from a caller's perspective delivery (and all forwarding it triggers) is
 // synchronous.
+//
+// Send is safe to call from multiple goroutines (device kernels run
+// concurrently under the concurrent NM): exactly one caller pumps at a
+// time, and a Send racing an active pump enqueues its frame for that
+// pump and returns. Callers that need read-after-send guarantees (probe
+// tests) should serialise their own traffic.
 func (n *Network) Send(from PortID, frame []byte) error {
 	n.mu.Lock()
 	p, ok := n.ports[from]
@@ -320,6 +326,9 @@ func (n *Network) Send(from PortID, frame []byte) error {
 }
 
 func (n *Network) pump() {
+	n.mu.Lock()
+	maxSteps := n.MaxSteps
+	n.mu.Unlock()
 	steps := 0
 	for {
 		n.mu.Lock()
@@ -335,8 +344,8 @@ func (n *Network) pump() {
 		n.mu.Unlock()
 
 		steps++
-		if steps > n.MaxSteps {
-			panic(fmt.Sprintf("netsim: forwarding loop: more than %d deliveries in one pump", n.MaxSteps))
+		if steps > maxSteps {
+			panic(fmt.Sprintf("netsim: forwarding loop: more than %d deliveries in one pump", maxSteps))
 		}
 		if h != nil {
 			h.HandleFrame(d.to.ID.Name, d.frame)

@@ -287,18 +287,66 @@ func tradeoffGetName(key string) string {
 	return parts[1]
 }
 
-// Execute runs compiled device scripts in order, one batch per device
-// (Table VI's "commands to each router along the path").
+// Execute runs compiled device scripts, one batch per device (Table VI's
+// "commands to each router along the path").
+//
+// By default scripts are grouped into dependency waves: scripts on
+// distinct devices run concurrently within a wave, and a device that
+// appears more than once has its later scripts pushed into later waves,
+// so per-device batch order is preserved. Module peering stays correct
+// because the initiator rule keys on module references (device identity),
+// not on configuration arrival order, and every module defers work whose
+// parameters have not arrived yet (ErrPending / pending replies). The
+// message Counters are therefore byte-identical to sequential execution.
+// Setting n.Sequential restores the strict in-order execution of the
+// paper's accounting runs.
 func (n *NM) Execute(scripts []DeviceScript) error {
-	for _, ds := range scripts {
-		resp, err := n.ExecuteBatch(ds.Device, ds.Items)
-		if err != nil {
-			return fmt.Errorf("nm: batch on %s: %w", ds.Device, err)
-		}
-		for i, e := range resp.Errors {
-			if e != "" {
-				return fmt.Errorf("nm: batch on %s item %d (%s): %s", ds.Device, i, ds.Rendered[i], e)
+	if n.Sequential {
+		for i := range scripts {
+			if err := n.runScript(&scripts[i]); err != nil {
+				return err
 			}
+		}
+		return nil
+	}
+	for _, wave := range executionWaves(scripts) {
+		wave := wave
+		if err := n.forEach(len(wave), func(i int) error {
+			return n.runScript(&scripts[wave[i]])
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// executionWaves partitions script indexes into waves: each script lands
+// in the earliest wave after every earlier script for the same device.
+// With one script per device (the compiler's normal output) that is a
+// single wave.
+func executionWaves(scripts []DeviceScript) [][]int {
+	deviceWave := make(map[core.DeviceID]int, len(scripts))
+	var waves [][]int
+	for i := range scripts {
+		w := deviceWave[scripts[i].Device] // next wave this device may use
+		if w == len(waves) {
+			waves = append(waves, nil)
+		}
+		waves[w] = append(waves[w], i)
+		deviceWave[scripts[i].Device] = w + 1
+	}
+	return waves
+}
+
+// runScript sends one device's batch and surfaces per-item errors.
+func (n *NM) runScript(ds *DeviceScript) error {
+	resp, err := n.ExecuteBatch(ds.Device, ds.Items)
+	if err != nil {
+		return fmt.Errorf("nm: batch on %s: %w", ds.Device, err)
+	}
+	for i, e := range resp.Errors {
+		if e != "" {
+			return fmt.Errorf("nm: batch on %s item %d (%s): %s", ds.Device, i, ds.Rendered[i], e)
 		}
 	}
 	return nil

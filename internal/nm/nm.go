@@ -19,6 +19,11 @@ import (
 	"conman/internal/msg"
 )
 
+// DefaultWorkers bounds the NM's concurrent device fan-out when
+// NM.Workers is unset. Per-device management work is dominated by
+// channel round trips, so a pool larger than GOMAXPROCS still pays off.
+const DefaultWorkers = 16
+
 // Counters tracks the NM's management-channel traffic in the categories
 // of the paper's Table VI: configuration commands sent (one batch per
 // device), module-message relays (each relayed message counts once
@@ -87,6 +92,18 @@ type NM struct {
 
 	// CallTimeout bounds request/response calls.
 	CallTimeout time.Duration
+
+	// Sequential restores the strictly one-device-at-a-time behaviour
+	// for DiscoverAll and Execute (the paper's original accounting mode,
+	// and a safe fallback for channels that cannot carry concurrent
+	// traffic). The default is concurrent fan-out. Set before the first
+	// DiscoverAll/Execute call; it is read without locking.
+	Sequential bool
+
+	// Workers bounds the concurrent fan-out of DiscoverAll and of each
+	// Execute wave. Zero or negative selects DefaultWorkers. Set before
+	// the first DiscoverAll/Execute call; it is read without locking.
+	Workers int
 }
 
 // New creates a network manager.
@@ -514,9 +531,61 @@ func (n *NM) SelfTest(module core.ModuleRef, pipe core.PipeID) (bool, string, er
 }
 
 // DiscoverAll invokes showPotential on every device that said hello.
+// Devices are queried concurrently on a bounded worker pool unless
+// n.Sequential is set; the result (the NM's device/module knowledge) is
+// identical in both modes, only wall-clock time differs.
 func (n *NM) DiscoverAll() error {
-	for _, dev := range n.Devices() {
-		if _, err := n.ShowPotential(dev); err != nil {
+	devs := n.Devices()
+	return n.forEach(len(devs), func(i int) error {
+		_, err := n.ShowPotential(devs[i])
+		return err
+	})
+}
+
+// workerCount resolves the effective fan-out bound.
+func (n *NM) workerCount() int {
+	if n.Workers > 0 {
+		return n.Workers
+	}
+	return DefaultWorkers
+}
+
+// forEach runs fn(0..count-1) on a bounded worker pool (or in order when
+// n.Sequential is set). All indexes run even if some fail; the returned
+// error is the lowest-index one, so failures are reported
+// deterministically regardless of goroutine scheduling.
+func (n *NM) forEach(count int, fn func(i int) error) error {
+	workers := n.workerCount()
+	if workers > count {
+		workers = count
+	}
+	if n.Sequential || workers <= 1 {
+		for i := 0; i < count; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, count)
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	for i := 0; i < count; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
 	}

@@ -1,6 +1,7 @@
 package nm
 
 import (
+	"fmt"
 	"testing"
 
 	"conman/internal/channel"
@@ -323,5 +324,99 @@ func TestDomainAndGatewayResolution(t *testing.T) {
 	}
 	if _, ok := n.ResolveDomain("nope"); ok {
 		t.Error("unknown domain resolved")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: wave grouping, worker pool, sequential fallback
+
+func TestExecutionWaves(t *testing.T) {
+	ds := func(dev string) DeviceScript { return DeviceScript{Device: core.DeviceID(dev)} }
+	cases := []struct {
+		name    string
+		scripts []DeviceScript
+		want    [][]int
+	}{
+		{"empty", nil, nil},
+		{"distinct-devices", []DeviceScript{ds("A"), ds("B"), ds("C")}, [][]int{{0, 1, 2}}},
+		{"repeat-device", []DeviceScript{ds("A"), ds("B"), ds("A")}, [][]int{{0, 1}, {2}}},
+		{"interleaved", []DeviceScript{ds("A"), ds("B"), ds("A"), ds("B"), ds("A")},
+			[][]int{{0, 1}, {2, 3}, {4}}},
+		{"late-first-appearance", []DeviceScript{ds("A"), ds("A"), ds("B")},
+			[][]int{{0, 2}, {1}}},
+	}
+	for _, c := range cases {
+		got := executionWaves(c.scripts)
+		if len(got) != len(c.want) {
+			t.Errorf("%s: %d waves, want %d (%v)", c.name, len(got), len(c.want), got)
+			continue
+		}
+		for w := range got {
+			if len(got[w]) != len(c.want[w]) {
+				t.Errorf("%s wave %d: %v, want %v", c.name, w, got[w], c.want[w])
+				continue
+			}
+			for i := range got[w] {
+				if got[w][i] != c.want[w][i] {
+					t.Errorf("%s wave %d: %v, want %v", c.name, w, got[w], c.want[w])
+					break
+				}
+			}
+		}
+	}
+}
+
+func TestForEachDeterministicError(t *testing.T) {
+	n := New()
+	n.Workers = 8
+	// Two failures: the lowest index must win no matter how goroutines
+	// are scheduled.
+	for trial := 0; trial < 20; trial++ {
+		err := n.forEach(16, func(i int) error {
+			if i == 3 || i == 11 {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "boom 3" {
+			t.Fatalf("trial %d: got %v, want boom 3", trial, err)
+		}
+	}
+}
+
+func TestDiscoverAllSequentialFlag(t *testing.T) {
+	for _, sequential := range []bool{false, true} {
+		n := buildTwoRouterNM(t)
+		n.Sequential = sequential
+		if err := n.DiscoverAll(); err != nil {
+			t.Fatalf("sequential=%v: %v", sequential, err)
+		}
+		devs := n.Devices()
+		if len(devs) != 2 || devs[0] != "R1" || devs[1] != "R2" {
+			t.Fatalf("sequential=%v: devices %v", sequential, devs)
+		}
+	}
+}
+
+func TestExecuteConcurrentCountsMatchSequential(t *testing.T) {
+	scripts := []DeviceScript{
+		{Device: "R1", Items: []msg.CommandItem{{}, {}}},
+		{Device: "R2", Items: []msg.CommandItem{{}}},
+	}
+	run := func(sequential bool) Counters {
+		n := buildTwoRouterNM(t)
+		n.Sequential = sequential
+		n.ResetCounters()
+		if err := n.Execute(scripts); err != nil {
+			t.Fatalf("sequential=%v: %v", sequential, err)
+		}
+		return n.Counters()
+	}
+	seq, conc := run(true), run(false)
+	if seq != conc {
+		t.Errorf("counters differ: sequential %+v, concurrent %+v", seq, conc)
+	}
+	if seq.CmdSent != 2 || seq.AckRecv != 2 {
+		t.Errorf("unexpected accounting: %+v", seq)
 	}
 }

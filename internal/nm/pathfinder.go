@@ -166,6 +166,11 @@ type FindSpec struct {
 	TrafficDomain string
 	// MaxPaths bounds the search (0 = 1000).
 	MaxPaths int
+	// MaxDepth bounds path length in hops. Zero derives the bound from
+	// the graph: twice the node count, the upper limit the per-module
+	// visit rule already implies, so large linear topologies (n=128 and
+	// beyond) enumerate without an artificial ceiling.
+	MaxDepth int
 	// DisableDomainPruning turns off the Fig 6(b) rule (for the ablation
 	// benchmark).
 	DisableDomainPruning bool
@@ -175,15 +180,16 @@ type FindSpec struct {
 }
 
 type finder struct {
-	g       *Graph
-	spec    FindSpec
-	stats   PruneStats
-	visited map[string]int
-	hops    []Hop
-	groups  []PeerGroup
-	stack   []int // group indices, top first
-	paths   []*Path
-	max     int
+	g        *Graph
+	spec     FindSpec
+	stats    PruneStats
+	visited  map[string]int
+	hops     []Hop
+	groups   []PeerGroup
+	stack    []int // group indices, top first
+	paths    []*Path
+	max      int
+	maxDepth int
 }
 
 // visitLimit implements the paper's cycle avoidance: each module appears
@@ -219,13 +225,17 @@ func (g *Graph) FindPaths(spec FindSpec) ([]*Path, PruneStats, error) {
 		return nil, PruneStats{}, fmt.Errorf("nm: %s has no external physical pipe", spec.From)
 	}
 	f := &finder{
-		g:       g,
-		spec:    spec,
-		visited: make(map[string]int),
-		max:     spec.MaxPaths,
+		g:        g,
+		spec:     spec,
+		visited:  make(map[string]int),
+		max:      spec.MaxPaths,
+		maxDepth: spec.MaxDepth,
 	}
 	if f.max == 0 {
 		f.max = 1000
+	}
+	if f.maxDepth == 0 {
+		f.maxDepth = 2 * len(g.nodes)
 	}
 	// The customer frame arrives with an Ethernet header (pushed by the
 	// customer's equipment) around an IP packet in the customer's
@@ -273,9 +283,31 @@ func canon(n core.ModuleName) core.ModuleName {
 	return n
 }
 
+// modeRank orders mode exploration so the canonical configuration is
+// enumerated first when the path cap truncates an exponential search
+// space (a long L2 chain where every transit switch could also bridge
+// transparently or pop-and-repush the tag): header processing dives
+// deepest, pushes come next, pops unwind, and phy exits — which leave
+// the device without touching its protocol modules — are tried last.
+// Declared order breaks ties, so small-topology enumerations are
+// unchanged.
+func modeRank(m core.SwitchMode) int {
+	if m.To == core.EndPhy {
+		return 3
+	}
+	switch m.Effect() {
+	case core.EffectProcess:
+		return 0
+	case core.EffectPush:
+		return 1
+	default:
+		return 2
+	}
+}
+
 // visit explores from node, entered at the given end.
 func (f *finder) visit(node *Node, entry core.PipeEnd, entryVia *Node, entryPhys core.PipeID) {
-	if len(f.paths) >= f.max || len(f.hops) > 64 {
+	if len(f.paths) >= f.max || len(f.hops) >= f.maxDepth {
 		return
 	}
 	key := node.Ref.String()
@@ -286,10 +318,14 @@ func (f *finder) visit(node *Node, entry core.PipeEnd, entryVia *Node, entryPhys
 	f.visited[key]++
 	defer func() { f.visited[key]-- }()
 
+	var modes []core.SwitchMode
 	for _, mode := range node.Abs.Switch.Modes {
-		if mode.From != entry {
-			continue
+		if mode.From == entry {
+			modes = append(modes, mode)
 		}
+	}
+	sort.SliceStable(modes, func(i, j int) bool { return modeRank(modes[i]) < modeRank(modes[j]) })
+	for _, mode := range modes {
 		f.tryMode(node, mode, entryVia, entryPhys)
 	}
 }
