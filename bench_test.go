@@ -373,13 +373,13 @@ func BenchmarkLinearConfigure(b *testing.B) {
 					}
 					tb.NM.Sequential = mode == "sequential"
 					tb.NM.Workers = 64
-					scripts, err := sc.PlanLinear(tb, n)
+					plan, err := sc.PlanLinear(tb, n)
 					if err != nil {
 						b.Fatal(err)
 					}
 					tb.Hub.SetLatency(simRTT)
 					b.StartTimer()
-					if err := tb.NM.Execute(scripts); err != nil {
+					if err := tb.NM.Apply(plan); err != nil {
 						b.Fatal(err)
 					}
 				}

@@ -1,15 +1,23 @@
-// Command conman regenerates the tables and figures of the CONMan paper's
-// evaluation (§III) from the live reproduction.
+// Command conman drives the CONMan reproduction: the declarative
+// intent lifecycle (plan / apply / destroy) on the paper's evaluation
+// testbeds, regeneration of every table and figure of §III, and the
+// scale benchmark with JSON output for CI trend tracking.
 //
 // Usage:
 //
+//	conman plan <gre|mpls|vlan>
+//	conman apply [-dry-run] <gre|mpls|vlan>
+//	conman destroy [-dry-run] <gre|mpls|vlan>
+//	conman bench [-out FILE]
 //	conman table3|table4|table5|table6|fig3|fig5|fig7|fig8|fig9|paths|all
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"conman/internal/experiments"
 	"conman/internal/nm"
@@ -20,21 +28,54 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	cmd, args := os.Args[1], os.Args[2:]
+	switch cmd {
+	case "plan", "apply", "destroy":
+		if err := runIntent(cmd, args); err != nil {
+			fmt.Fprintf(os.Stderr, "conman %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+		return
+	case "bench":
+		if err := runBench(args); err != nil {
+			fmt.Fprintf(os.Stderr, "conman bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	cmds := os.Args[1:]
 	if len(cmds) == 1 && cmds[0] == "all" {
 		cmds = []string{"table3", "table4", "paths", "fig5", "fig7", "fig8", "fig9", "table5", "table6", "fig3"}
 	}
-	for _, cmd := range cmds {
-		if err := run(cmd); err != nil {
-			fmt.Fprintf(os.Stderr, "conman %s: %v\n", cmd, err)
+	for _, c := range cmds {
+		if err := run(c); err != nil {
+			fmt.Fprintf(os.Stderr, "conman %s: %v\n", c, err)
 			os.Exit(1)
 		}
 	}
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: conman <artifact>...
-artifacts:
+	fmt.Fprintln(os.Stderr, `usage: conman <command>...
+
+intent lifecycle (declarative API):
+  plan <scenario>             compute and print the reconciliation plan
+                              (dry run; no commands are sent)
+  apply [-dry-run] <scenario> reconcile the testbed toward the intent,
+                              verify the data plane, prove idempotency
+                              (-dry-run stops after printing the plan)
+  destroy [-dry-run] <scenario>
+                              apply, then tear the intent back down and
+                              prove the path is gone (-dry-run prints
+                              the teardown plan without executing it)
+
+  scenarios: gre, mpls (Fig 4 routed testbed), vlan (Fig 9 switched)
+
+benchmarks:
+  bench [-out FILE]           run the linear-n scale suite and emit the
+                              results as JSON (for CI artifacts)
+
+paper artifacts:
   table3   GRE module abstraction (Table III)
   table4   device A module inventory (Table IV)
   table5   generic/specific commands & state variables (Table V)
@@ -45,7 +86,190 @@ artifacts:
   fig8     MPLS VPN: today vs CONMan (Fig 8)
   fig9     VLAN tunnel: today vs CONMan (Fig 9)
   paths    path enumeration between <ETH,A,a> and <ETH,C,f> (§III-C.1)
-  all      everything above`)
+  all      every paper artifact above`)
+}
+
+// scenario resolves a lifecycle scenario name to its testbed builder and
+// intent.
+func scenario(name string) (func() (*experiments.Testbed, error), nm.Intent, error) {
+	switch name {
+	case "gre":
+		return experiments.BuildFig4, experiments.VPNIntent(experiments.Fig4Goal(), "GRE-IP tunnel"), nil
+	case "mpls":
+		return experiments.BuildFig4, experiments.VPNIntent(experiments.Fig4Goal(), "MPLS"), nil
+	case "vlan":
+		return experiments.BuildFig9, experiments.VPNIntent(experiments.Fig9Goal(), "VLAN tunnel"), nil
+	}
+	return nil, nm.Intent{}, fmt.Errorf("unknown scenario %q (want gre, mpls or vlan)", name)
+}
+
+func runIntent(cmd string, args []string) error {
+	dryRun := false
+	var names []string
+	for _, a := range args {
+		if a == "-dry-run" || a == "--dry-run" {
+			dryRun = true
+			continue
+		}
+		names = append(names, a)
+	}
+	if len(names) != 1 {
+		usage()
+		return fmt.Errorf("%s needs exactly one scenario", cmd)
+	}
+	build, intent, err := scenario(names[0])
+	if err != nil {
+		return err
+	}
+	tb, err := build()
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+
+	plan, err := tb.NM.Plan(intent)
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Render())
+	if cmd == "plan" || (cmd == "apply" && dryRun) {
+		fmt.Println("dry run: no commands sent")
+		return nil
+	}
+
+	if err := tb.NM.Apply(plan); err != nil {
+		return err
+	}
+	c := tb.NM.Counters()
+	fmt.Printf("applied: %d messages sent, %d received\n", c.Sent(), c.Received())
+	if err := tb.VerifyConnectivity(4242); err != nil {
+		return fmt.Errorf("data-plane verification: %w", err)
+	}
+	fmt.Println("data plane verified: probes delivered both ways, isolation holds")
+
+	second, err := tb.NM.Plan(intent)
+	if err != nil {
+		return err
+	}
+	if !second.Empty() {
+		return fmt.Errorf("re-plan not empty after apply:\n%s", second.Render())
+	}
+	fmt.Printf("re-plan: no changes (%d components in place) — apply is idempotent\n", second.InPlace)
+
+	if cmd != "destroy" {
+		return nil
+	}
+	if dryRun {
+		down, err := tb.NM.PlanDestroy(intent)
+		if err != nil {
+			return err
+		}
+		fmt.Print(down.Render())
+		fmt.Println("dry run: teardown not executed")
+		return nil
+	}
+	down, err := tb.NM.Destroy(intent)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("destroyed: %d delete batches executed\n", len(down.Deletes))
+	if err := tb.VerifyConnectivity(4343); err == nil {
+		return fmt.Errorf("path still carries traffic after destroy")
+	}
+	fmt.Println("path gone: probes no longer delivered")
+	again, err := tb.NM.Plan(intent)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("re-plan after destroy: %d components to create\n", countItems(again.Creates))
+	return nil
+}
+
+func countItems(scripts []nm.DeviceScript) int {
+	n := 0
+	for _, ds := range scripts {
+		n += len(ds.Items)
+	}
+	return n
+}
+
+// benchResult is one JSON record of the scale benchmark.
+type benchResult struct {
+	Benchmark string  `json:"benchmark"`
+	Scenario  string  `json:"scenario"`
+	N         int     `json:"n"`
+	Mode      string  `json:"mode"`
+	Seconds   float64 `json:"seconds"`
+	Sent      int     `json:"sent"`
+	Received  int     `json:"received"`
+}
+
+// runBench measures intent apply on linear chains in both execution
+// modes over a latency-emulating channel, and writes the results as a
+// JSON array (CI uploads it as BENCH_scale.json to track the perf
+// trajectory across PRs).
+func runBench(args []string) error {
+	out := ""
+	for i := 0; i < len(args); i++ {
+		if args[i] == "-out" || args[i] == "--out" {
+			if i+1 >= len(args) {
+				return fmt.Errorf("-out needs a file name")
+			}
+			out = args[i+1]
+			i++
+		}
+	}
+	const latency = 200 * time.Microsecond
+	var results []benchResult
+	sc, err := experiments.LinearScenarioByName("GRE")
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{16, 64} {
+		for _, mode := range []string{"sequential", "concurrent"} {
+			best := time.Duration(0)
+			var counters nm.Counters
+			for rep := 0; rep < 2; rep++ {
+				tb, err := sc.Build(n)
+				if err != nil {
+					return err
+				}
+				tb.NM.Sequential = mode == "sequential"
+				tb.NM.Workers = 64
+				plan, err := sc.PlanLinear(tb, n)
+				if err != nil {
+					return err
+				}
+				tb.NM.ResetCounters()
+				tb.Hub.SetLatency(latency)
+				start := time.Now()
+				if err := tb.NM.Apply(plan); err != nil {
+					return err
+				}
+				el := time.Since(start)
+				if best == 0 || el < best {
+					best = el
+				}
+				counters = tb.NM.Counters()
+			}
+			results = append(results, benchResult{
+				Benchmark: "LinearApply", Scenario: sc.Name, N: n, Mode: mode,
+				Seconds: best.Seconds(), Sent: counters.Sent(), Received: counters.Received(),
+			})
+			fmt.Fprintf(os.Stderr, "LinearApply/%s n=%d %s: %v (%d sent / %d received)\n",
+				sc.Name, n, mode, best, counters.Sent(), counters.Received())
+		}
+	}
+	data, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(out, data, 0644)
 }
 
 func header(s string) {
@@ -93,6 +317,9 @@ func run(cmd string) error {
 		if err != nil {
 			return err
 		}
+		// Sequential mode keeps the trace in chronological order — Fig 3
+		// is a time-ordered sequence diagram.
+		tb.NM.Sequential = true
 		tb.NM.EnableMessageLog()
 		goal := experiments.Fig4Goal()
 		if _, _, err := experiments.ConfigureVPN(tb, goal, "GRE-IP tunnel"); err != nil {
@@ -143,6 +370,5 @@ func comparison(f func() (*experiments.ConfigComparison, error), title string) e
 		return err
 	}
 	fmt.Print(cmp.Render())
-	_ = nm.Counters{}
 	return nil
 }

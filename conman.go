@@ -18,21 +18,48 @@
 //   - protocol modules wrapping that substrate (internal/modules)
 //   - the Network Manager (internal/nm): topology discovery, potential
 //     graph, path finder with encapsulation/domain pruning, compiler to
-//     CONMan scripts, executor with message accounting
+//     CONMan scripts, wave executor, and the declarative Intent API
 //   - "configuration today" scripts and the Table V metric
 //     (internal/legacy)
 //   - every table and figure of the paper's evaluation
 //     (internal/experiments), regenerable via cmd/conman
 //
+// # The Intent API
+//
+// The NM's public surface is declarative, mirroring the paper's model of
+// a manager that holds high-level goals and (re)derives configuration
+// from them (§II, §IV). An Intent names a connectivity Goal plus
+// tradeoffs; the lifecycle is:
+//
+//	plan, err := nm.Plan(intent)   // diff desired vs observed state
+//	fmt.Print(plan.Render())       // dry run: every pending command
+//	err = nm.Apply(plan)           // reconcile: delete stale, create missing
+//	_, err = nm.Destroy(intent)    // tear the configuration back down
+//
+// Plan compiles the intent's chosen path into per-device scripts, reads
+// the actual state of every device on the path (showActual) and keeps
+// only the difference: missing pipes and switch rules become create
+// batches, stale components (from an earlier intent, or a pipe whose
+// endpoints changed) become delete batches via the delete() primitive.
+// Planning sends no configuration commands, so a Plan doubles as a dry
+// run. Apply is idempotent — after a successful Apply, a fresh Plan for
+// the same intent is empty and re-applying it sends zero commands. The
+// same loop heals partial failure (kill a pipe: the next Plan recreates
+// it and its dependent rules) and expresses A->B->A reconfiguration
+// between path flavours (GRE <-> MPLS), which the previous one-shot
+// DiscoverAll/FindPaths/Compile/Execute chain could not. Compile and
+// Execute remain available as the underlying engine.
+//
 // # Concurrency
 //
-// The NM fans configuration out across devices: DiscoverAll queries all
-// devices on a bounded worker pool, and Execute groups DeviceScripts
-// into dependency waves — scripts on distinct devices run concurrently,
-// while a device appearing more than once keeps its batches in order.
-// Module peering is unaffected because the initiator rule keys on module
-// references, not arrival order, so the message Counters (Table VI) are
-// byte-identical to sequential execution. Two knobs control this:
+// The NM fans work out across devices: DiscoverAll and Plan's state
+// observation query all devices on a bounded worker pool, and Apply
+// groups batches into dependency waves — batches on distinct devices
+// run concurrently, while a device appearing more than once keeps its
+// batches in order. Module peering is unaffected because the initiator
+// rule keys on module references, not arrival order, so the message
+// Counters (Table VI) are byte-identical to sequential execution. Two
+// knobs control this:
 //
 //   - NM.Sequential: set true to restore strict one-device-at-a-time
 //     operation (the paper's original accounting mode, and a fallback
@@ -41,12 +68,16 @@
 //     nm.DefaultWorkers (16).
 //
 // Both are read without locking and must be set before the first
-// DiscoverAll/Execute call. The whole stack (channel hub, device MAs,
+// DiscoverAll/Plan/Apply call. The whole stack (channel hub, device MAs,
 // protocol modules, kernels, netsim) is safe under `go test -race` with
-// concurrent NM calls. For experiments, Hub.SetLatency emulates a real
-// management network's propagation delay; the BenchmarkLinearDiscover /
-// BenchmarkLinearConfigure suites use it to compare the two modes on
-// chains up to n=128.
+// concurrent NM calls; netsim.Network.Flush provides a quiescence
+// barrier for concurrent data-plane probes. For experiments,
+// Hub.SetLatency emulates a real management network's propagation
+// delay, and the linear testbeds can run their management plane over
+// real UDP sockets (experiments.EndpointFactory). The NM message log
+// records per-stream sequence numbers and merges them canonically, so
+// Fig 3-style traces are byte-reproducible under the concurrent
+// executor.
 //
 // This facade re-exports the types most users need; see the examples/
 // directory for runnable scenarios.
@@ -75,12 +106,38 @@ type (
 	SwitchRule = core.SwitchRule
 	// FilterRule is an abstract filter specification.
 	FilterRule = core.FilterRule
+	// DeleteRequest identifies a component for NM.Delete.
+	DeleteRequest = core.DeleteRequest
+)
+
+// Component kinds for DeleteRequest.
+const (
+	ComponentPipe       = core.ComponentPipe
+	ComponentSwitchRule = core.ComponentSwitchRule
+)
+
+// Ref constructs a ModuleRef.
+func Ref(name core.ModuleName, dev DeviceID, mod core.ModuleID) ModuleRef {
+	return core.Ref(name, dev, mod)
+}
+
+// Well-known module names.
+const (
+	NameETH  = core.NameETH
+	NameIPv4 = core.NameIPv4
+	NameGRE  = core.NameGRE
+	NameMPLS = core.NameMPLS
+	NameVLAN = core.NameVLAN
 )
 
 // Manager types.
 type (
 	// NM is the CONMan network manager.
 	NM = nm.NM
+	// Intent is a declarative connectivity intent (desired state).
+	Intent = nm.Intent
+	// Plan is the reconciliation diff computed by NM.Plan.
+	Plan = nm.Plan
 	// Goal is a high-level connectivity goal.
 	Goal = nm.Goal
 	// Path is a protocol-sane module-level path.
@@ -123,9 +180,14 @@ func Fig4Goal() Goal { return experiments.Fig4Goal() }
 // Fig9Goal returns the VLAN tunnel goal.
 func Fig9Goal() Goal { return experiments.Fig9Goal() }
 
-// ConfigureVPN finds, compiles and executes a path for the goal; prefer
-// selects a specific path flavour by description ("MPLS", "GRE-IP
-// tunnel", "VLAN tunnel") or "" for the automatic selector.
+// VPNIntent wraps a goal as a declarative intent; prefer pins a path
+// flavour by description ("MPLS", "GRE-IP tunnel", "VLAN tunnel") or ""
+// for the paper's automatic selector.
+func VPNIntent(goal Goal, prefer string) Intent { return experiments.VPNIntent(goal, prefer) }
+
+// ConfigureVPN plans and applies an intent for the goal in one call;
+// prefer selects a specific path flavour by description or "" for the
+// automatic selector. Equivalent to NM.Plan + NM.Apply.
 func ConfigureVPN(tb *Testbed, goal Goal, prefer string) (*Path, []DeviceScript, error) {
 	return experiments.ConfigureVPN(tb, goal, prefer)
 }

@@ -20,40 +20,29 @@ func pathWith(paths []*nm.Path, desc string) *nm.Path {
 	return nil
 }
 
-// ConfigureVPN is the one-call high-level API the examples use: find all
-// paths for the goal, pick one (preferring the given description when
-// non-empty, the paper's selector otherwise), compile and execute it.
-func ConfigureVPN(tb *Testbed, goal nm.Goal, prefer string) (*nm.Path, []nm.DeviceScript, error) {
-	g, err := nm.BuildGraph(tb.NM)
-	if err != nil {
-		return nil, nil, err
+// VPNIntent wraps a goal as a named intent; prefer pins a path flavour
+// by description ("MPLS", "GRE-IP tunnel", "VLAN tunnel") or "" for the
+// paper's automatic selector.
+func VPNIntent(goal nm.Goal, prefer string) nm.Intent {
+	name := prefer
+	if name == "" {
+		name = "vpn"
 	}
-	paths, _, err := g.FindPaths(nmSpec(goal))
-	if err != nil {
-		return nil, nil, err
-	}
-	var chosen *nm.Path
-	if prefer != "" {
-		chosen = pathWith(paths, prefer)
-	}
-	if chosen == nil {
-		chosen = nm.SelectPath(paths)
-	}
-	if chosen == nil {
-		return nil, nil, errNoPath
-	}
-	scripts, err := tb.NM.Compile(chosen, goal)
-	if err != nil {
-		return nil, nil, err
-	}
-	if err := tb.NM.Execute(scripts); err != nil {
-		return nil, nil, err
-	}
-	return chosen, scripts, nil
+	return nm.Intent{Name: name, Goal: goal, Prefer: prefer}
 }
 
-type noPathError struct{}
-
-func (noPathError) Error() string { return "experiments: no path satisfies the goal" }
-
-var errNoPath = noPathError{}
+// ConfigureVPN is the one-call high-level API the examples use: plan the
+// goal as an intent and apply the reconciliation. On a fresh testbed the
+// plan is pure creation, so this behaves exactly like the old one-shot
+// pipeline; on a partially (or differently) configured one it heals or
+// reconfigures. Returns the chosen path and the create batches applied.
+func ConfigureVPN(tb *Testbed, goal nm.Goal, prefer string) (*nm.Path, []nm.DeviceScript, error) {
+	plan, err := tb.NM.Plan(VPNIntent(goal, prefer))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := tb.NM.Apply(plan); err != nil {
+		return nil, nil, err
+	}
+	return plan.Path, plan.Creates, nil
+}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"net/netip"
+	"time"
 
 	"conman/internal/channel"
 	"conman/internal/core"
@@ -31,19 +32,36 @@ const (
 )
 
 // linkSubnet returns the ISP /24 for the link between router k and k+1.
+// The link index spans two octets (10.100.k.0/24 for k < 256, then
+// 10.101.0.0/24, ...) so chains up to the rid naming ceiling of n=999
+// get unique subnets.
 func linkSubnet(k int) (left, right netip.Prefix) {
-	return pfx(fmt.Sprintf("10.100.%d.1/24", k)), pfx(fmt.Sprintf("10.100.%d.2/24", k))
+	hi, lo := 100+k>>8, k&0xff
+	return pfx(fmt.Sprintf("10.%d.%d.1/24", hi, lo)), pfx(fmt.Sprintf("10.%d.%d.2/24", hi, lo))
 }
 
 // newLinearBase creates the shared parts of a linear-n testbed: netsim,
-// hub, NM, customer routers D and E at the ends.
-func newLinearBase() (*Testbed, error) {
+// management channel, NM, customer routers D and E at the ends. A nil
+// factory selects the in-process Hub; passing one (e.g. UDP sockets)
+// runs the management plane over that transport instead.
+func newLinearBase(factory EndpointFactory) (*Testbed, error) {
 	tb := &Testbed{
-		Net: netsim.New(), Hub: channel.NewHub(), NM: nm.New(),
+		Net: netsim.New(), NM: nm.New(),
 		Devices:  make(map[core.DeviceID]*device.Device),
 		Customer: make(map[core.DeviceID]*kernel.Kernel),
+		factory:  factory,
 	}
-	tb.NM.AttachChannel(tb.Hub.Endpoint(msg.NMName))
+	if tb.factory == nil {
+		tb.Hub = channel.NewHub()
+		tb.factory = func(name string) (channel.Endpoint, error) {
+			return tb.Hub.Endpoint(name), nil
+		}
+	}
+	nmEP, err := tb.newEndpoint(msg.NMName)
+	if err != nil {
+		return nil, err
+	}
+	tb.NM.AttachChannel(nmEP)
 	d, err := customerRouter(tb.Net, "D", pfx("192.168.0.1/24"), pfx("10.0.1.1/24"), ip("192.168.0.2"))
 	if err != nil {
 		return nil, err
@@ -62,14 +80,43 @@ func newLinearBase() (*Testbed, error) {
 
 func (tb *Testbed) startAll() error {
 	for _, dev := range tb.Devices {
-		dev.MA.AttachChannel(tb.Hub.Endpoint(string(dev.ID)))
+		ep, err := tb.newEndpoint(string(dev.ID))
+		if err != nil {
+			return err
+		}
+		dev.MA.AttachChannel(ep)
 	}
 	for _, dev := range tb.Devices {
 		if err := dev.MA.Start(); err != nil {
 			return err
 		}
 	}
+	if err := tb.waitAnnounced(5 * time.Second); err != nil {
+		return err
+	}
 	return tb.NM.DiscoverAll()
+}
+
+// waitAnnounced waits until every managed device's hello and topology
+// report reached the NM: instantaneous on the synchronous Hub, a short
+// poll on asynchronous transports (UDP).
+func (tb *Testbed) waitAnnounced(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		ready := 0
+		for id := range tb.Devices {
+			if info, ok := tb.NM.Device(id); ok && info.Hello && info.Topology.Device != "" {
+				ready++
+			}
+		}
+		if ready == len(tb.Devices) {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("experiments: only %d/%d devices announced before timeout", ready, len(tb.Devices))
+		}
+		time.Sleep(time.Millisecond)
+	}
 }
 
 func (tb *Testbed) wire(n int) error {
@@ -92,11 +139,15 @@ func (tb *Testbed) wire(n int) error {
 
 // BuildLinearGRE builds a chain of n >= 3 routers with GRE modules at the
 // ends, for the Table VI GRE row (messages: 3n+2 sent, 2n+2 received).
-func BuildLinearGRE(n int) (*Testbed, error) {
+func BuildLinearGRE(n int) (*Testbed, error) { return BuildLinearGREOver(n, nil) }
+
+// BuildLinearGREOver is BuildLinearGRE with the management channel
+// running over the given transport (nil = in-process Hub).
+func BuildLinearGREOver(n int, factory EndpointFactory) (*Testbed, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
 	}
-	tb, err := newLinearBase()
+	tb, err := newLinearBase(factory)
 	if err != nil {
 		return nil, err
 	}
@@ -175,11 +226,14 @@ func BuildLinearGRE(n int) (*Testbed, error) {
 // BuildLinearMPLS builds a chain of n routers: edge routers carry the
 // customer IP module and MPLS; transit routers are pure LSRs (MPLS + two
 // ETH modules; their link addresses live in the kernel).
-func BuildLinearMPLS(n int) (*Testbed, error) {
+func BuildLinearMPLS(n int) (*Testbed, error) { return BuildLinearMPLSOver(n, nil) }
+
+// BuildLinearMPLSOver is BuildLinearMPLS over the given transport.
+func BuildLinearMPLSOver(n int, factory EndpointFactory) (*Testbed, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
 	}
-	tb, err := newLinearBase()
+	tb, err := newLinearBase(factory)
 	if err != nil {
 		return nil, err
 	}
@@ -250,11 +304,14 @@ func BuildLinearMPLS(n int) (*Testbed, error) {
 
 // BuildLinearVLAN builds a chain of n L2 switches with QinQ tunnel ports
 // at the ends.
-func BuildLinearVLAN(n int) (*Testbed, error) {
+func BuildLinearVLAN(n int) (*Testbed, error) { return BuildLinearVLANOver(n, nil) }
+
+// BuildLinearVLANOver is BuildLinearVLAN over the given transport.
+func BuildLinearVLANOver(n int, factory EndpointFactory) (*Testbed, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
 	}
-	tb, err := newLinearBase()
+	tb, err := newLinearBase(factory)
 	if err != nil {
 		return nil, err
 	}

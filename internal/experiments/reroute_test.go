@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"testing"
+
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+	"conman/internal/modules"
+	"conman/internal/netsim"
+	"conman/internal/nm"
+)
+
+// buildDiamondVLAN constructs a switched diamond: customer D - edge
+// switch A - transit {B1 | B2} - edge switch C - customer E, one VLAN
+// tunnel. Two equivalent L2 paths exist; deterministic enumeration
+// order picks the B1 path first (its module ids sort lower).
+func buildDiamondVLAN() (*Testbed, error) {
+	tb, err := newLinearBase(nil)
+	if err != nil {
+		return nil, err
+	}
+	// L2 endpoints share one subnet (as in the Fig 9 / linear VLAN
+	// scenarios).
+	resetCustomerL2(tb.Customer["D"], pfx("192.168.5.1/24"), ip("192.168.5.2"), pfx("10.0.2.0/24"))
+	resetCustomerL2(tb.Customer["E"], pfx("192.168.5.2/24"), ip("192.168.5.1"), pfx("10.0.1.0/24"))
+	tb.NM.SetGateway("S1-gateway", "192.168.5.1")
+	tb.NM.SetGateway("S2-gateway", "192.168.5.2")
+
+	mkSwitch := func(id core.DeviceID, ethID, vlanID core.ModuleID, custPort string, trunkPorts ...string) error {
+		ports := append([]string{}, trunkPorts...)
+		if custPort != "" {
+			ports = append([]string{custPort}, ports...)
+		}
+		dev, err := device.New(tb.Net, id, kernel.RoleSwitch, ports...)
+		if err != nil {
+			return err
+		}
+		tb.Devices[id] = dev
+		eth := modules.NewETH(dev.MA, ethID, true, ports...)
+		if custPort != "" {
+			dev.MarkExternal(custPort)
+			eth.RegisterPhysical(dev.MA, custPort)
+		} else {
+			eth.RegisterPhysical(dev.MA)
+		}
+		dev.AddModule(eth)
+		dev.AddModule(modules.NewVLAN(dev.MA, vlanID, 22, "C1", 1504))
+		return nil
+	}
+	if err := mkSwitch("A", "a", "d", "cust", "toB1", "toB2"); err != nil {
+		return nil, err
+	}
+	if err := mkSwitch("B1", "m1", "v1", "", "left", "right"); err != nil {
+		return nil, err
+	}
+	if err := mkSwitch("B2", "m2", "v2", "", "left", "right"); err != nil {
+		return nil, err
+	}
+	if err := mkSwitch("C", "c", "f", "cust", "toB1", "toB2"); err != nil {
+		return nil, err
+	}
+
+	for _, l := range []struct {
+		name string
+		a, b netsim.PortID
+	}{
+		{"D-A", netsim.PortID{Device: "D", Name: "eth0"}, netsim.PortID{Device: "A", Name: "cust"}},
+		{"A-B1", netsim.PortID{Device: "A", Name: "toB1"}, netsim.PortID{Device: "B1", Name: "left"}},
+		{"A-B2", netsim.PortID{Device: "A", Name: "toB2"}, netsim.PortID{Device: "B2", Name: "left"}},
+		{"B1-C", netsim.PortID{Device: "B1", Name: "right"}, netsim.PortID{Device: "C", Name: "toB1"}},
+		{"B2-C", netsim.PortID{Device: "B2", Name: "right"}, netsim.PortID{Device: "C", Name: "toB2"}},
+		{"C-E", netsim.PortID{Device: "C", Name: "cust"}, netsim.PortID{Device: "E", Name: "eth0"}},
+	} {
+		if err := connect(tb.Net, l.name, l.a, l.b); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+func diamondIntent() nm.Intent {
+	return nm.Intent{
+		Name: "diamond-vpn",
+		Goal: nm.Goal{
+			From:          core.Ref(core.NameETH, "A", "a"),
+			To:            core.Ref(core.NameETH, "C", "c"),
+			FromDomain:    "C1-S1",
+			ToDomain:      "C1-S2",
+			FromGateway:   "S1-gateway",
+			ToGateway:     "S2-gateway",
+			TrafficDomain: "C1",
+			TagClassified: true,
+		},
+		Prefer: "VLAN tunnel",
+	}
+}
+
+// deviceConfigured reports whether the device has any NM-created pipes
+// or switch rules.
+func deviceConfigured(t *testing.T, tb *Testbed, dev core.DeviceID) bool {
+	t.Helper()
+	states, err := tb.NM.ShowActual(dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, st := range states {
+		if len(st.SwitchRules) > 0 {
+			return true
+		}
+		for _, ps := range st.Pipes {
+			if ps.End != core.EndPhy {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func pathDevices(p *nm.Path) map[core.DeviceID]bool {
+	out := map[core.DeviceID]bool{}
+	for _, h := range p.Hops {
+		out[h.Node.Ref.Device] = true
+	}
+	return out
+}
+
+// TestReroutePrunesStrandedDevice is the failure-recovery scenario the
+// Intent API unlocks: the applied path runs through transit B1; the
+// A-B1 wire is cut and the affected devices re-report topology;
+// re-applying the same intent routes through B2, renegotiates the VLAN
+// with the new neighbour (the kept pipes' peers changed, so they are
+// churned), AND prunes every component the old path left on B1 —
+// because the NM remembers which devices the intent touched.
+func TestReroutePrunesStrandedDevice(t *testing.T) {
+	tb, err := buildDiamondVLAN()
+	if err != nil {
+		t.Fatal(err)
+	}
+	intent := diamondIntent()
+	plan, err := tb.NM.Plan(intent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on := pathDevices(plan.Path); !on["B1"] || on["B2"] {
+		t.Fatalf("expected initial path via B1 only, got %s", plan.Path.Modules())
+	}
+	if err := tb.NM.Apply(plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.VerifyConnectivity(95000); err != nil {
+		t.Fatalf("via B1: %v", err)
+	}
+
+	// The A-B1 wire is cut; the affected devices re-report topology
+	// (the paper's failure notification model, §II-D).
+	if err := tb.Net.SetMediumUp("A-B1", false); err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range []core.DeviceID{"A", "B1"} {
+		if err := tb.Devices[id].MA.ReportTopology(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	replan, err := tb.NM.Plan(intent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on := pathDevices(replan.Path); on["B1"] || !on["B2"] {
+		t.Fatalf("expected rerouted path via B2, got %s", replan.Path.Modules())
+	}
+	prunesB1 := false
+	for _, ds := range replan.Deletes {
+		if ds.Device == "B1" {
+			prunesB1 = true
+		}
+	}
+	if !prunesB1 {
+		t.Fatalf("replan does not prune stranded device B1:\n%s", replan.Render())
+	}
+	if err := tb.NM.Apply(replan); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.VerifyConnectivity(95100); err != nil {
+		t.Fatalf("via B2: %v", err)
+	}
+	if deviceConfigured(t, tb, "B1") {
+		t.Error("stranded device B1 still carries configuration after reroute")
+	}
+	// Reconciliation converged: a further plan is empty.
+	again, err := tb.NM.Plan(intent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !again.Empty() {
+		t.Errorf("plan after reroute not empty:\n%s", again.Render())
+	}
+
+	// Destroy clears the intent record and every remaining device.
+	if _, err := tb.NM.Destroy(intent); err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range []core.DeviceID{"A", "B2", "C"} {
+		if deviceConfigured(t, tb, dev) {
+			t.Errorf("device %s still configured after destroy", dev)
+		}
+	}
+}

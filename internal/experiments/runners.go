@@ -228,42 +228,25 @@ func runVPN(buildVLAN bool, pathDesc string, today legacy.Script, token uint32) 
 	if buildVLAN {
 		goal = Fig9Goal()
 	}
-	g, err := nm.BuildGraph(tb.NM)
-	if err != nil {
-		return nil, err
-	}
-	paths, _, err := g.FindPaths(nm.FindSpec{
-		From: goal.From, To: goal.To, TrafficDomain: goal.TrafficDomain,
-	})
-	if err != nil {
-		return nil, err
-	}
-	var chosen *nm.Path
-	for _, p := range paths {
-		if p.Describe() == pathDesc {
-			chosen = p
-			break
-		}
-	}
-	if chosen == nil {
-		return nil, fmt.Errorf("no %q path found", pathDesc)
-	}
-	scripts, err := tb.NM.Compile(chosen, goal)
+	// Plan the goal as a declarative intent; on the fresh testbed the
+	// plan is pure creation, so the applied batches — and the message
+	// accounting — are identical to the old one-shot compile+execute.
+	plan, err := tb.NM.Plan(VPNIntent(goal, pathDesc))
 	if err != nil {
 		return nil, err
 	}
 	tb.NM.ResetCounters()
-	if err := tb.NM.Execute(scripts); err != nil {
+	if err := tb.NM.Apply(plan); err != nil {
 		return nil, err
 	}
 	cmp := &ConfigComparison{
 		Scenario:   pathDesc,
 		Today:      today,
-		AllScripts: scripts,
+		AllScripts: plan.Creates,
 		Messages:   tb.NM.Counters(),
 		DeviceLog:  tb.Devices["A"].Kernel.ExecLog(),
 	}
-	for _, s := range scripts {
+	for _, s := range plan.Creates {
 		if s.Device == "A" {
 			cmp.CONManScript = s.Script()
 		}

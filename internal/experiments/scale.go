@@ -13,6 +13,9 @@ type LinearScenario struct {
 	Name     string
 	PathDesc string
 	Build    func(n int) (*Testbed, error)
+	// BuildOver builds the same topology with the management channel on
+	// an explicit transport (nil factory = in-process Hub).
+	BuildOver func(n int, f EndpointFactory) (*Testbed, error)
 	// Tag marks the L2 scenarios whose goal uses the Tagged
 	// classification (Fig 9b).
 	Tag bool
@@ -27,17 +30,20 @@ type LinearScenario struct {
 func LinearScenarios() []LinearScenario {
 	return []LinearScenario{
 		{
-			Name: "GRE", PathDesc: "GRE-IP tunnel", Build: BuildLinearGRE,
+			Name: "GRE", PathDesc: "GRE-IP tunnel",
+			Build: BuildLinearGRE, BuildOver: BuildLinearGREOver,
 			WantSent: func(n int) int { return 3*n + 2 },
 			WantRecv: func(n int) int { return 2*n + 2 },
 		},
 		{
-			Name: "MPLS", PathDesc: "MPLS", Build: BuildLinearMPLS,
+			Name: "MPLS", PathDesc: "MPLS",
+			Build: BuildLinearMPLS, BuildOver: BuildLinearMPLSOver,
 			WantSent: func(n int) int { return 3*n - 2 },
 			WantRecv: func(n int) int { return 2*n - 1 },
 		},
 		{
-			Name: "VLAN", PathDesc: "VLAN tunnel", Build: BuildLinearVLAN, Tag: true,
+			Name: "VLAN", PathDesc: "VLAN tunnel",
+			Build: BuildLinearVLAN, BuildOver: BuildLinearVLANOver, Tag: true,
 			WantSent: func(n int) int { return 3*n - 2 },
 			WantRecv: func(n int) int { return 2*n - 1 },
 		},
@@ -54,41 +60,40 @@ func LinearScenarioByName(name string) (LinearScenario, error) {
 	return LinearScenario{}, fmt.Errorf("experiments: no linear scenario %q", name)
 }
 
-// PlanLinear finds and compiles the scenario's path on a built linear-n
-// testbed without executing it, so callers can time or inspect execution
-// separately.
-func (sc LinearScenario) PlanLinear(tb *Testbed, n int) ([]nm.DeviceScript, error) {
-	g, err := nm.BuildGraph(tb.NM)
-	if err != nil {
-		return nil, err
+// Intent names the scenario's connectivity goal on a chain of n devices
+// as a declarative intent.
+func (sc LinearScenario) Intent(n int) nm.Intent {
+	return nm.Intent{
+		Name:   fmt.Sprintf("%s-linear-%d", sc.Name, n),
+		Goal:   LinearGoal(n, sc.Tag),
+		Prefer: sc.PathDesc,
 	}
-	goal := LinearGoal(n, sc.Tag)
-	paths, _, err := g.FindPaths(nmSpec(goal))
+}
+
+// PlanLinear computes the scenario's reconciliation plan on a built
+// linear-n testbed without applying it, so callers can time or inspect
+// the apply separately (dry run).
+func (sc LinearScenario) PlanLinear(tb *Testbed, n int) (*nm.Plan, error) {
+	plan, err := tb.NM.Plan(sc.Intent(n))
 	if err != nil {
 		return nil, fmt.Errorf("%s n=%d: %w", sc.Name, n, err)
 	}
-	chosen := pathWith(paths, sc.PathDesc)
-	if chosen == nil {
-		var got []string
-		for _, p := range paths {
-			got = append(got, p.Describe())
-		}
-		return nil, fmt.Errorf("%s n=%d: no %q path among %v", sc.Name, n, sc.PathDesc, got)
-	}
-	return tb.NM.Compile(chosen, goal)
+	return plan, nil
 }
 
-// ConfigureLinear plans and executes the scenario on a built linear-n
-// testbed. Counters are reset before execution so tb.NM.Counters()
-// afterwards holds configuration traffic only (the Table VI accounting).
-func (sc LinearScenario) ConfigureLinear(tb *Testbed, n int) ([]nm.DeviceScript, error) {
-	scripts, err := sc.PlanLinear(tb, n)
+// ConfigureLinear plans and applies the scenario on a built linear-n
+// testbed. Counters are reset between planning and applying so
+// tb.NM.Counters() afterwards holds configuration traffic only (the
+// Table VI accounting; planning itself sends no configuration
+// commands).
+func (sc LinearScenario) ConfigureLinear(tb *Testbed, n int) (*nm.Plan, error) {
+	plan, err := sc.PlanLinear(tb, n)
 	if err != nil {
 		return nil, err
 	}
 	tb.NM.ResetCounters()
-	if err := tb.NM.Execute(scripts); err != nil {
-		return scripts, fmt.Errorf("%s n=%d: %w", sc.Name, n, err)
+	if err := tb.NM.Apply(plan); err != nil {
+		return plan, fmt.Errorf("%s n=%d: %w", sc.Name, n, err)
 	}
-	return scripts, nil
+	return plan, nil
 }

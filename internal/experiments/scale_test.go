@@ -216,13 +216,13 @@ func TestConcurrentFasterOnLatentChannel(t *testing.T) {
 		}
 		tb.NM.Sequential = sequential
 		tb.NM.Workers = n
-		scripts, err := sc.PlanLinear(tb, n)
+		plan, err := sc.PlanLinear(tb, n)
 		if err != nil {
 			t.Fatal(err)
 		}
 		tb.Hub.SetLatency(latency)
 		start := time.Now()
-		if err := tb.NM.Execute(scripts); err != nil {
+		if err := tb.NM.Apply(plan); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(start)

@@ -22,18 +22,45 @@ import (
 func pfx(s string) netip.Prefix { return netip.MustParsePrefix(s) }
 func ip(s string) netip.Addr    { return netip.MustParseAddr(s) }
 
+// EndpointFactory creates named management-channel endpoints; it
+// abstracts the transport a testbed runs its management traffic over
+// (in-process Hub, real UDP sockets, ...).
+type EndpointFactory func(name string) (channel.Endpoint, error)
+
 // Testbed is a built environment: simulated network, managed devices,
 // unmanaged customer routers, management channel and NM.
 type Testbed struct {
-	Net      *netsim.Network
+	Net *netsim.Network
+	// Hub is the in-process management channel (nil when the testbed was
+	// built over another transport via an EndpointFactory).
 	Hub      *channel.Hub
 	NM       *nm.NM
 	Devices  map[core.DeviceID]*device.Device
 	Customer map[core.DeviceID]*kernel.Kernel
+
+	factory   EndpointFactory
+	endpoints []channel.Endpoint
 }
 
-// Close releases resources (none currently, kept for API symmetry).
-func (tb *Testbed) Close() {}
+// newEndpoint creates (and tracks for Close) one management-channel
+// endpoint through the testbed's transport.
+func (tb *Testbed) newEndpoint(name string) (channel.Endpoint, error) {
+	ep, err := tb.factory(name)
+	if err != nil {
+		return nil, err
+	}
+	tb.endpoints = append(tb.endpoints, ep)
+	return ep, nil
+}
+
+// Close releases the management-channel endpoints (real sockets for
+// transports like UDP; a no-op for the in-process Hub).
+func (tb *Testbed) Close() {
+	for _, ep := range tb.endpoints {
+		_ = ep.Close()
+	}
+	tb.endpoints = nil
+}
 
 // customerRouter creates an unmanaged customer edge router (the paper's D
 // and E): uplink address, site LAN, default route to the ISP, proxy ARP.

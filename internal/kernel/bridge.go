@@ -114,6 +114,48 @@ func (k *Kernel) SetPortTrunk(port string, vid uint16) {
 	p.TrunkVIDs[vid] = true
 }
 
+// ClearPortVLAN undoes a port's membership in a VLAN: access/QinQ ports
+// of the VLAN become unconfigured; trunk ports drop the VLAN from their
+// allow-list (and become unconfigured when the list empties). Learned
+// FDB entries for the VLAN are flushed.
+func (k *Kernel) ClearPortVLAN(port string, vid uint16) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	p, ok := k.bridge.ports[port]
+	if ok {
+		switch p.Mode {
+		case ModeAccess, ModeDot1qTunnel:
+			if p.AccessVID == vid {
+				p.Mode = ModeUnconfigured
+				p.AccessVID = 0
+			}
+		case ModeTrunk:
+			delete(p.TrunkVIDs, vid)
+			if len(p.TrunkVIDs) == 0 {
+				p.Mode = ModeUnconfigured
+			}
+		}
+	}
+	for key := range k.bridge.fdb {
+		if key.vid == vid {
+			delete(k.bridge.fdb, key)
+		}
+	}
+}
+
+// UndefineVLAN removes a VLAN definition and flushes its FDB entries.
+// Port memberships are cleared separately via ClearPortVLAN.
+func (k *Kernel) UndefineVLAN(vid uint16) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.bridge.vlans, vid)
+	for key := range k.bridge.fdb {
+		if key.vid == vid {
+			delete(k.bridge.fdb, key)
+		}
+	}
+}
+
 // PortModeOf reports a switch port's configuration.
 func (k *Kernel) PortModeOf(port string) (PortMode, uint16) {
 	k.mu.Lock()

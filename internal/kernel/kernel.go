@@ -474,6 +474,58 @@ func (k *Kernel) DelRoutes(table, dev string) {
 	t.Routes = kept
 }
 
+// DelRouteWhere removes every route matching pred from the named table
+// ("" = main) and reports how many were removed. Modules use it to undo
+// the routes their switch rules installed (declarative teardown).
+func (k *Kernel) DelRouteWhere(table string, pred func(Route) bool) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if table == "" {
+		table = "main"
+	}
+	t, ok := k.tables[table]
+	if !ok {
+		return 0
+	}
+	kept := t.Routes[:0]
+	removed := 0
+	for _, r := range t.Routes {
+		if pred(r) {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.Routes = kept
+	return removed
+}
+
+// DropTable removes a named policy table: its routes, every policy rule
+// selecting it, and its rt_tables registration — the inverse of the
+// `echo N name >> rt_tables` / `ip rule add ... table name` /
+// `ip route add ... table name` sequence the IP module emits. "main" is
+// never dropped.
+func (k *Kernel) DropTable(name string) {
+	if name == "main" || name == "" {
+		return
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.tables, name)
+	for num, n := range k.rtNames {
+		if n == name {
+			delete(k.rtNames, num)
+		}
+	}
+	kept := k.rules[:0]
+	for _, r := range k.rules {
+		if r.Table != name {
+			kept = append(kept, r)
+		}
+	}
+	k.rules = kept
+}
+
 // AddGRETunnel creates a GRE tunnel interface.
 func (k *Kernel) AddGRETunnel(t GRETunnel) (*Iface, error) {
 	k.mu.Lock()
@@ -492,6 +544,19 @@ func (k *Kernel) DelIface(name string) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	delete(k.ifaces, name)
+}
+
+// ResetTunnelSeq clears a GRE tunnel's receive-sequence protection so a
+// re-established far end (whose transmit sequence restarted at zero) is
+// accepted again. Invoked by the GRE module when its peer reports a
+// tunnel teardown.
+func (k *Kernel) ResetTunnelSeq(name string) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if i, ok := k.ifaces[name]; ok && i.Tunnel != nil {
+		i.Tunnel.rxSeq = 0
+		i.Tunnel.rxAny = false
+	}
 }
 
 // Tunnel returns a GRE tunnel's state by interface name.
@@ -581,6 +646,22 @@ func (k *Kernel) AddXC(label uint32, space, nhlfeKey int) error {
 	}
 	k.mpls.xc[ik] = nhlfeKey
 	return nil
+}
+
+// DelILM removes an incoming label mapping and its cross-connect.
+func (k *Kernel) DelILM(label uint32, space int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	ik := ilmKey{label, space}
+	delete(k.mpls.ilm, ik)
+	delete(k.mpls.xc, ik)
+}
+
+// DelNHLFE removes a next-hop label forwarding entry by key.
+func (k *Kernel) DelNHLFE(key int) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	delete(k.mpls.nhlfe, key)
 }
 
 // RegisterUDP binds a handler to a local UDP port.

@@ -33,7 +33,10 @@ type ETH struct {
 	external  map[core.PipeID]bool
 	upPipes   map[core.PipeID]*device.Pipe
 	rules     []*device.SwitchRuleInstance
-	vlanDone  map[string]bool // idempotence for emitted CatOS port config
+	// ruleUndo maps an installed rule's id to the action undoing the
+	// CatOS port configuration it emitted (nil for router NIC rules).
+	ruleUndo map[string]func()
+	vlanDone map[string]bool // idempotence for emitted CatOS port config
 }
 
 // NewETH creates an Ethernet module. For routers pass a single interface;
@@ -50,6 +53,7 @@ func NewETH(svc device.Services, id core.ModuleID, isSwitch bool, ifaces ...stri
 		physPipes: make(map[core.PipeID]string),
 		external:  make(map[core.PipeID]bool),
 		upPipes:   make(map[core.PipeID]*device.Pipe),
+		ruleUndo:  make(map[string]func()),
 		vlanDone:  make(map[string]bool),
 	}
 	return e
@@ -149,8 +153,10 @@ func (e *ETH) Actual() core.ModuleState {
 		st.LowLevel["iface:"+iface] = iface
 	}
 	for id, p := range e.upPipes {
+		// Peer is this (lower) module's own remote peer, matching how
+		// every other module reports its pipes.
 		st.Pipes = append(st.Pipes, core.PipeState{
-			ID: id, End: core.EndUp, Other: p.Upper, Peer: p.UpperPeer, Status: p.Status,
+			ID: id, End: core.EndUp, Other: p.Upper, Peer: p.LowerPeer, Status: p.Status,
 		})
 	}
 	for _, r := range e.rules {
@@ -179,12 +185,50 @@ func (e *ETH) PipeAttached(p *device.Pipe, side device.PipeSide) error {
 	return nil
 }
 
-// PipeDeleted implements device.Module.
+// PipeDeleted implements device.Module: switch rules referencing the
+// pipe go with it, undoing any port configuration they emitted.
 func (e *ETH) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	delete(e.upPipes, p.ID)
+	var undos []func()
+	kept := e.rules[:0]
+	for _, r := range e.rules {
+		if r.Rule.From == p.ID || r.Rule.To == p.ID {
+			if u := e.ruleUndo[r.ID]; u != nil {
+				undos = append(undos, u)
+			}
+			delete(e.ruleUndo, r.ID)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	e.rules = kept
+	e.mu.Unlock()
+	for _, u := range undos {
+		u()
+	}
 	return nil
+}
+
+// DeleteRule removes a switch rule by id (invoked via delete()),
+// undoing its port configuration.
+func (e *ETH) DeleteRule(id string) error {
+	e.mu.Lock()
+	for i, r := range e.rules {
+		if r.ID != id {
+			continue
+		}
+		e.rules = append(e.rules[:i], e.rules[i+1:]...)
+		undo := e.ruleUndo[id]
+		delete(e.ruleUndo, id)
+		e.mu.Unlock()
+		if undo != nil {
+			undo()
+		}
+		return nil
+	}
+	e.mu.Unlock()
+	return fmt.Errorf("%s: no switch rule %q", e.Ref(), id)
 }
 
 // ifaceOf resolves a physical pipe id to its kernel interface.
@@ -232,32 +276,39 @@ func (e *ETH) InstallSwitchRule(r *device.SwitchRuleInstance) error {
 		counterpart = other.Upper
 	}
 
+	var undo func()
 	if counterpart.Name == core.NameVLAN && e.isSwitch {
-		if err := e.installVLANPortRule(r, iface, counterpart); err != nil {
+		var err error
+		undo, err = e.installVLANPortRule(r, iface, counterpart)
+		if err != nil {
 			return err
 		}
 	}
 	e.mu.Lock()
 	e.rules = append(e.rules, r)
+	if undo != nil {
+		e.ruleUndo[r.ID] = undo
+	}
 	e.mu.Unlock()
 	return nil
 }
 
 // installVLANPortRule emits the CatOS port configuration for one side of
 // a VLAN tunnel: rules classified "Tagged" mark the customer-facing QinQ
-// tunnel port; unclassified rules mark trunk membership (Fig 9).
-func (e *ETH) installVLANPortRule(r *device.SwitchRuleInstance, iface string, vlanMod core.ModuleRef) error {
+// tunnel port; unclassified rules mark trunk membership (Fig 9). The
+// returned undo clears the port configuration this rule emitted.
+func (e *ETH) installVLANPortRule(r *device.SwitchRuleInstance, iface string, vlanMod core.ModuleRef) (func(), error) {
 	fields, err := e.Svc.LocalFields(vlanMod.Module, "self")
 	if err != nil {
-		return err
+		return nil, err
 	}
 	vidStr := fields["vid"]
 	if vidStr == "" {
-		return device.ErrPending // VID not negotiated yet
+		return nil, device.ErrPending // VID not negotiated yet
 	}
 	vid, err := strconv.Atoi(vidStr)
 	if err != nil {
-		return fmt.Errorf("%s: bad vid %q from %s", e.Ref(), vidStr, vlanMod)
+		return nil, fmt.Errorf("%s: bad vid %q from %s", e.Ref(), vidStr, vlanMod)
 	}
 	k := e.Svc.Kernel()
 
@@ -267,28 +318,37 @@ func (e *ETH) installVLANPortRule(r *device.SwitchRuleInstance, iface string, vl
 	e.vlanDone[key] = true
 	e.mu.Unlock()
 	if done {
-		return nil
+		return nil, nil
+	}
+	undo := func() {
+		k.ClearPortVLAN(iface, uint16(vid))
+		e.mu.Lock()
+		delete(e.vlanDone, key)
+		e.mu.Unlock()
 	}
 
 	if r.Rule.Match != nil && r.Rule.Match.Kind == "tagged" {
 		// Customer-facing QinQ tunnel port.
 		script := fmt.Sprintf("interface %s\nswitchport access vlan %d\nswitchport mode dot1q-tunnel\nexit", iface, vid)
 		if _, err := k.ExecScript(script); err != nil {
-			return err
+			return nil, err
 		}
-		return nil
+		return undo, nil
 	}
 	// Trunk membership toward the next switch — unless the port is
 	// already a customer tunnel/access port (the reverse rule of a
 	// [Phy, Tagged => P] pair names the same port and must not
 	// reconfigure it).
 	if mode, _ := k.PortModeOf(iface); mode == kernel.ModeDot1qTunnel || mode == kernel.ModeAccess {
-		return nil
+		e.mu.Lock()
+		delete(e.vlanDone, key)
+		e.mu.Unlock()
+		return nil, nil
 	}
 	if _, err := k.Exec(fmt.Sprintf("set vlan %d %s", vid, iface)); err != nil {
-		return err
+		return nil, err
 	}
-	return nil
+	return undo, nil
 }
 
 // ListFields implements device.Module: physical pipe (or up-pipe) to

@@ -25,11 +25,18 @@ type GRE struct {
 	dnPipes map[core.PipeID]*device.Pipe
 	// params holds per-peer negotiated parameters.
 	params map[string]*greParams
-	// tunnels maps "upPipe/downPipe" to the created kernel interface.
-	tunnels  map[string]string
+	// tunnels maps a kernel interface name to the up/down pipes the
+	// tunnel was built across.
+	tunnels  map[string]greTun
 	keySeq   uint32
 	insmoded bool
 	rules    []*device.SwitchRuleInstance
+}
+
+// greTun records which pipes a kernel tunnel belongs to, so teardown
+// can match pipe ids exactly.
+type greTun struct {
+	up, dn core.PipeID
 }
 
 type greParams struct {
@@ -61,7 +68,7 @@ func NewGRE(svc device.Services, id core.ModuleID) *GRE {
 		upPipes: make(map[core.PipeID]*device.Pipe),
 		dnPipes: make(map[core.PipeID]*device.Pipe),
 		params:  make(map[string]*greParams),
-		tunnels: make(map[string]string),
+		tunnels: make(map[string]greTun),
 	}
 }
 
@@ -126,9 +133,9 @@ func (g *GRE) Actual() core.ModuleState {
 			ID: id, End: core.EndDown, Other: p.Lower, Peer: p.UpperPeer, Status: p.Status,
 		})
 	}
-	for key, iface := range g.tunnels {
+	for iface := range g.tunnels {
 		if tun, ok := k.Tunnel(iface); ok {
-			st.LowLevel["tunnel:"+key] = fmt.Sprintf("dev=%s local=%s remote=%s ikey=%d okey=%d seq=%v csum=%v",
+			st.LowLevel["tunnel:"+iface] = fmt.Sprintf("dev=%s local=%s remote=%s ikey=%d okey=%d seq=%v csum=%v",
 				iface, tun.Local, tun.Remote, tun.IKey, tun.OKey, tun.ISeq, tun.ICsum)
 		}
 		rx, tx := k.IfaceCounters(iface)
@@ -191,25 +198,93 @@ func (g *GRE) PipeAttached(p *device.Pipe, side device.PipeSide) error {
 	return nil
 }
 
-// PipeDeleted implements device.Module: tears down tunnels built on the
-// pipe.
+// PipeDeleted implements device.Module: tears down tunnels and switch
+// rules built on the pipe (their state vanishes with it, so a later
+// re-Apply recreates both). The peer GRE module is told so it can reset
+// its receive-sequence state.
 func (g *GRE) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
+	peer := p.LowerPeer
+	if side == device.SideUpper {
+		peer = p.UpperPeer
+	}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	delete(g.upPipes, p.ID)
 	delete(g.dnPipes, p.ID)
-	for key, iface := range g.tunnels {
-		if strings.Contains(key, string(p.ID)) {
-			g.Svc.Kernel().DelIface(iface)
-			delete(g.tunnels, key)
+	torn := g.dropTunnelsLocked(p.ID)
+	kept := g.rules[:0]
+	for _, r := range g.rules {
+		if r.Rule.From != p.ID && r.Rule.To != p.ID {
+			kept = append(kept, r)
 		}
 	}
+	g.rules = kept
+	g.mu.Unlock()
+	g.notifyTunnelDown(torn, peer)
 	return nil
 }
 
+// dropTunnelsLocked deletes kernel tunnels whose up or down pipe is
+// exactly the given pipe and reports how many went. Caller holds g.mu.
+func (g *GRE) dropTunnelsLocked(id core.PipeID) int {
+	torn := 0
+	for iface, tun := range g.tunnels {
+		if tun.up == id || tun.dn == id {
+			g.Svc.Kernel().DelIface(iface)
+			delete(g.tunnels, iface)
+			torn++
+		}
+	}
+	return torn
+}
+
+// notifyTunnelDown tells the peer GRE module the tunnel went away so it
+// resets its receive-sequence protection: a re-created near end restarts
+// transmit sequences at zero, which the peer would otherwise drop as
+// replay (§II-D coordination through the NM, never on the data path).
+func (g *GRE) notifyTunnelDown(torn int, peer core.ModuleRef) {
+	if torn == 0 || peer.IsZero() || peer.Name != core.NameGRE {
+		return
+	}
+	_ = g.Svc.Convey(g.Ref(), peer, "gre-down", struct{}{})
+}
+
+// DeleteRule removes a switch rule by id (invoked via delete()),
+// tearing down the kernel tunnel the rule created.
+func (g *GRE) DeleteRule(id string) error {
+	g.mu.Lock()
+	for i, r := range g.rules {
+		if r.ID != id {
+			continue
+		}
+		g.rules = append(g.rules[:i], g.rules[i+1:]...)
+		torn := g.dropTunnelsLocked(r.Rule.From) + g.dropTunnelsLocked(r.Rule.To)
+		var peer core.ModuleRef
+		if up, ok := g.upPipes[r.Rule.From]; ok {
+			peer = up.LowerPeer
+		} else if up, ok := g.upPipes[r.Rule.To]; ok {
+			peer = up.LowerPeer
+		}
+		g.mu.Unlock()
+		g.notifyTunnelDown(torn, peer)
+		return nil
+	}
+	g.mu.Unlock()
+	return fmt.Errorf("%s: no switch rule %q", g.Ref(), id)
+}
+
 // HandleConvey implements device.Module: the responder half of the key
-// negotiation.
+// negotiation, plus the teardown notification resetting sequence state.
 func (g *GRE) HandleConvey(from core.ModuleRef, kind string, body []byte) error {
+	if kind == "gre-down" {
+		// The peer tore its tunnel end down: accept a restarted transmit
+		// sequence when it comes back.
+		g.mu.Lock()
+		for iface := range g.tunnels {
+			g.Svc.Kernel().ResetTunnelSeq(iface)
+		}
+		g.mu.Unlock()
+		return nil
+	}
 	if kind != "gre-params" {
 		return nil
 	}
@@ -314,7 +389,7 @@ func (g *GRE) InstallSwitchRule(r *device.SwitchRuleInstance) error {
 		return err
 	}
 	g.mu.Lock()
-	g.tunnels[name] = name
+	g.tunnels[name] = greTun{up: up.ID, dn: dn.ID}
 	g.rules = append(g.rules, r)
 	g.mu.Unlock()
 	// The IP module above may be waiting for our device handle.
@@ -331,13 +406,13 @@ func (g *GRE) ListFields(component string) (map[string]string, error) {
 	defer g.mu.Unlock()
 	// Any pipe of ours maps onto the single tunnel built across it.
 	if _, ok := g.upPipes[core.PipeID(comp)]; ok || comp == "self" {
-		for _, iface := range g.tunnels {
+		for iface := range g.tunnels {
 			return map[string]string{"dev": iface}, nil
 		}
 		return map[string]string{}, nil
 	}
 	if _, ok := g.dnPipes[core.PipeID(comp)]; ok {
-		for _, iface := range g.tunnels {
+		for iface := range g.tunnels {
 			return map[string]string{"dev": iface}, nil
 		}
 		return map[string]string{}, nil
@@ -351,7 +426,7 @@ func (g *GRE) ListFields(component string) (map[string]string, error) {
 func (g *GRE) SelfTest(pipe core.PipeID) (bool, string) {
 	g.mu.Lock()
 	var iface string
-	for _, i := range g.tunnels {
+	for i := range g.tunnels {
 		iface = i
 	}
 	g.mu.Unlock()

@@ -34,6 +34,10 @@ type IP struct {
 	exchangesDone map[string]bool
 
 	rules []*device.SwitchRuleInstance
+	// ruleUndo maps an installed switch rule's id to the action undoing
+	// its kernel state (routes, policy tables), run when the rule or a
+	// pipe it references is deleted.
+	ruleUndo map[string]func()
 	// delivery is the resolved customer-delivery next hop ([pipe =>
 	// customer-pipe, gateway] rules); MPLS egress modules query it.
 	delivery map[string]string
@@ -74,6 +78,7 @@ func NewIP(svc device.Services, id core.ModuleID, domain string, addrs map[strin
 		pipes:         make(map[core.PipeID]*ipPipe),
 		peerAddrs:     make(map[string]netip.Addr),
 		exchangesDone: make(map[string]bool),
+		ruleUndo:      make(map[string]func()),
 		delivery:      make(map[string]string),
 	}
 	for iface, p := range addrs {
@@ -215,6 +220,40 @@ func (m *IP) PipeAttached(p *device.Pipe, side device.PipeSide) error {
 	}
 	m.maybeInitiateExchange(peer)
 	return nil
+}
+
+// PipeDeleted implements device.Module: forget the pipe and tear down
+// any switch rules built on it (a rule's kernel state vanishes with its
+// pipe, so a later re-Apply recreates both).
+func (m *IP) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
+	m.mu.Lock()
+	delete(m.pipes, p.ID)
+	m.mu.Unlock()
+	m.dropRulesOnPipe(p.ID)
+	return nil
+}
+
+// dropRulesOnPipe removes installed switch rules referencing the pipe,
+// running their kernel undo actions.
+func (m *IP) dropRulesOnPipe(id core.PipeID) {
+	m.mu.Lock()
+	var undos []func()
+	kept := m.rules[:0]
+	for _, r := range m.rules {
+		if r.Rule.From == id || r.Rule.To == id {
+			if u := m.ruleUndo[r.ID]; u != nil {
+				undos = append(undos, u)
+			}
+			delete(m.ruleUndo, r.ID)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.rules = kept
+	m.mu.Unlock()
+	for _, u := range undos {
+		u()
+	}
 }
 
 // maybeInitiateExchange starts the 2-message address exchange with a peer
@@ -370,44 +409,51 @@ func (m *IP) InstallSwitchRule(r *device.SwitchRuleInstance) error {
 	if !ok1 || !ok2 {
 		return fmt.Errorf("%s: switch rule references unknown pipes", m.Ref())
 	}
-	var err error
+	var (
+		undo func()
+		err  error
+	)
 	switch {
 	case r.Rule.Match != nil:
-		err = m.installClassifiedIngress(r, from, to)
+		undo, err = m.installClassifiedIngress(r, from, to)
 	case r.Rule.Via != "":
-		err = m.installClassifiedEgress(r, from, to)
+		undo, err = m.installClassifiedEgress(r, from, to)
 	default:
-		err = m.installTransit(r, from, to)
+		undo, err = m.installTransit(r, from, to)
 	}
 	if err != nil {
 		return err
 	}
 	m.mu.Lock()
 	m.rules = append(m.rules, r)
+	if undo != nil {
+		m.ruleUndo[r.ID] = undo
+	}
 	m.mu.Unlock()
 	m.Svc.Kick()
 	return nil
 }
 
 // installClassifiedIngress handles [fromPipe, dst:<domain> => toPipe].
-func (m *IP) installClassifiedIngress(r *device.SwitchRuleInstance, from, to *device.Pipe) error {
+// The returned undo removes the routes/tables it installed.
+func (m *IP) installClassifiedIngress(r *device.SwitchRuleInstance, from, to *device.Pipe) (func(), error) {
 	if r.MatchResolved == "" {
-		return fmt.Errorf("%s: classifier %v not resolved by NM", m.Ref(), r.Rule.Match)
+		return nil, fmt.Errorf("%s: classifier %v not resolved by NM", m.Ref(), r.Rule.Match)
 	}
 	prefix, err := netip.ParsePrefix(r.MatchResolved)
 	if err != nil {
-		return fmt.Errorf("%s: bad resolved classifier %q: %v", m.Ref(), r.MatchResolved, err)
+		return nil, fmt.Errorf("%s: bad resolved classifier %q: %v", m.Ref(), r.MatchResolved, err)
 	}
 	handle, err := m.lowerHandle(to)
 	if err != nil || (handle["dev"] == "" && handle["mpls-key"] == "") {
-		return device.ErrPending
+		return nil, device.ErrPending
 	}
 	k := m.Svc.Kernel()
 	// A virtual router forwards by definition (Fig 7a/8a command
 	// "echo 1 > /proc/sys/net/ipv4/ip_forward").
 	if !k.IPForward() {
 		if _, err := k.Exec("echo 1 > /proc/sys/net/ipv4/ip_forward"); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	switch {
@@ -415,9 +461,14 @@ func (m *IP) installClassifiedIngress(r *device.SwitchRuleInstance, from, to *de
 		// MPLS below: one route in main, exactly as Fig 8a.
 		cmd := fmt.Sprintf("ip route add %s via %s mpls %s", prefix, handle["via"], handle["mpls-key"])
 		if _, err := k.Exec(cmd); err != nil {
-			return err
+			return nil, err
 		}
 		m.recordRoute(cmd)
+		return func() {
+			k.DelRouteWhere("main", func(rt kernel.Route) bool {
+				return rt.MPLSKey > 0 && rt.Dst == prefix
+			})
+		}, nil
 	default:
 		// GRE (or IP-IP) tunnel below: policy table + default route, as
 		// Fig 7a lines (5)-(7).
@@ -426,27 +477,28 @@ func (m *IP) installClassifiedIngress(r *device.SwitchRuleInstance, from, to *de
 		script := fmt.Sprintf("echo %d %s >> /etc/iproute2/rt_tables\nip rule add to %s table %s\nip route add default dev %s table %s",
 			num, table, prefix, table, handle["dev"], table)
 		if _, err := k.ExecScript(script); err != nil {
-			return err
+			return nil, err
 		}
 		m.recordRoute(script)
+		return func() { k.DropTable(table) }, nil
 	}
-	return nil
 }
 
 // installClassifiedEgress handles [fromPipe => toPipe, gateway]: deliver
-// decapsulated traffic to the customer gateway out of toPipe.
-func (m *IP) installClassifiedEgress(r *device.SwitchRuleInstance, from, to *device.Pipe) error {
+// decapsulated traffic to the customer gateway out of toPipe. The
+// returned undo removes the policy table and the delivery record.
+func (m *IP) installClassifiedEgress(r *device.SwitchRuleInstance, from, to *device.Pipe) (func(), error) {
 	if r.ViaResolved == "" {
-		return fmt.Errorf("%s: gateway token %q not resolved by NM", m.Ref(), r.Rule.Via)
+		return nil, fmt.Errorf("%s: gateway token %q not resolved by NM", m.Ref(), r.Rule.Via)
 	}
 	gw, err := netip.ParseAddr(r.ViaResolved)
 	if err != nil {
-		return fmt.Errorf("%s: bad resolved gateway %q: %v", m.Ref(), r.ViaResolved, err)
+		return nil, fmt.Errorf("%s: bad resolved gateway %q: %v", m.Ref(), r.ViaResolved, err)
 	}
 	// The customer-facing pipe must sit on ETH; find its interface.
 	outHandle, err := m.lowerHandle(to)
 	if err != nil || outHandle["dev"] == "" {
-		return device.ErrPending
+		return nil, device.ErrPending
 	}
 	dev := outHandle["dev"]
 	k := m.Svc.Kernel()
@@ -458,21 +510,31 @@ func (m *IP) installClassifiedEgress(r *device.SwitchRuleInstance, from, to *dev
 	m.delivery["dev"] = dev
 	m.mu.Unlock()
 	m.Svc.FieldsChanged(m.Ref(), "delivery", map[string]string{"via": gw.String(), "dev": dev})
+	undoDelivery := func() {
+		m.mu.Lock()
+		delete(m.delivery, "via")
+		delete(m.delivery, "dev")
+		m.mu.Unlock()
+	}
 
+	// Note: on the pending paths below, the delivery record stays
+	// published — a co-located MPLS module consumes it to configure its
+	// egress, which in turn supplies the mpls-key this rule is waiting
+	// for. Teardown only happens through the returned undo.
 	inHandle, err := m.lowerHandle(from)
 	if err != nil {
-		return device.ErrPending
+		return nil, device.ErrPending
 	}
 	if inHandle["mpls-key"] != "" {
 		// MPLS handles egress delivery in its own NHLFE; nothing more
 		// to install here.
-		return nil
+		return undoDelivery, nil
 	}
 	if inHandle["dev"] == "" {
 		// The module below has not derived its device handle yet (the
 		// GRE tunnel is still negotiating, or the MPLS key will appear
 		// once the LSR is configured): retry later.
-		return device.ErrPending
+		return nil, device.ErrPending
 	}
 	// Tunnel (GRE) ingress from `from`: policy-route by input interface,
 	// as Fig 7a lines (8)-(10).
@@ -481,17 +543,20 @@ func (m *IP) installClassifiedEgress(r *device.SwitchRuleInstance, from, to *dev
 	script := fmt.Sprintf("echo %d %s >> /etc/iproute2/rt_tables\nip rule add iff %s table %s\nip route add default via %s dev %s table %s",
 		num, table, inHandle["dev"], table, gw, dev, table)
 	if _, err := k.ExecScript(script); err != nil {
-		return err
+		return nil, err
 	}
 	m.recordRoute(script)
-	return nil
+	return func() {
+		k.DropTable(table)
+		undoDelivery()
+	}, nil
 }
 
 // installTransit handles the plain bidirectional rule: route traffic for
 // the up-pipe's remote peer via the next-hop learned across the down
 // pipe (Fig 2 command (5) -> `ip route add to 204.9.169.1 via 204.9.168.1
 // dev eth1`).
-func (m *IP) installTransit(r *device.SwitchRuleInstance, from, to *device.Pipe) error {
+func (m *IP) installTransit(r *device.SwitchRuleInstance, from, to *device.Pipe) (func(), error) {
 	// Identify which pipe is our up pipe (tunnel above) and which is the
 	// down pipe (toward the wire).
 	up, down := from, to
@@ -501,44 +566,50 @@ func (m *IP) installTransit(r *device.SwitchRuleInstance, from, to *device.Pipe)
 	if up.Lower.Module != m.Ref().Module || down.Upper.Module != m.Ref().Module {
 		// Neither orientation fits: treat as forwarding enable only.
 		m.Svc.Kernel().SetIPForward(true)
-		return nil
+		return nil, nil
 	}
 	// Destination: our peer on the up pipe (the tunnel's far endpoint).
 	peer := up.LowerPeer
 	if peer.IsZero() {
 		m.Svc.Kernel().SetIPForward(true)
-		return nil
+		return nil, nil
 	}
 	dst, ok := m.peerAddr(peer)
 	if !ok {
-		return device.ErrPending
+		return nil, device.ErrPending
 	}
 	// Next hop: our peer across the down pipe, if it is a remote IP
 	// module; a directly-connected peer needs no via.
 	handle, err := m.lowerHandle(down)
 	if err != nil || handle["dev"] == "" {
-		return device.ErrPending
+		return nil, device.ErrPending
 	}
 	k := m.Svc.Kernel()
 	if _, err := k.Exec("echo 1 > /proc/sys/net/ipv4/ip_forward"); err != nil {
-		return err
+		return nil, err
 	}
 	nhPeer := down.UpperPeer
 	var cmd string
 	if !nhPeer.IsZero() && nhPeer.Name == core.NameIPv4 {
 		nh, ok := m.peerAddr(nhPeer)
 		if !ok {
-			return device.ErrPending
+			return nil, device.ErrPending
 		}
 		cmd = fmt.Sprintf("ip route add to %s via %s dev %s", dst, nh, handle["dev"])
 	} else {
 		cmd = fmt.Sprintf("ip route add to %s dev %s", dst, handle["dev"])
 	}
 	if _, err := k.Exec(cmd); err != nil {
-		return err
+		return nil, err
 	}
 	m.recordRoute(cmd)
-	return nil
+	dstPrefix := netip.PrefixFrom(dst, dst.BitLen())
+	dev := handle["dev"]
+	return func() {
+		k.DelRouteWhere("main", func(rt kernel.Route) bool {
+			return rt.Dst == dstPrefix && rt.Dev == dev
+		})
+	}, nil
 }
 
 func (m *IP) recordRoute(s string) {
@@ -601,18 +672,40 @@ func (m *IP) InstallFilterRule(r *device.FilterRuleInstance) error {
 	return nil
 }
 
-// DeleteRule removes a filter rule by id (invoked via delete()).
+// DeleteRule removes a filter or switch rule by id (invoked via
+// delete()), undoing the kernel state the rule installed.
 func (m *IP) DeleteRule(id string) error {
-	m.Svc.Kernel().DelFilter(id)
 	m.mu.Lock()
-	defer m.mu.Unlock()
+	for i, r := range m.rules {
+		if r.ID != id {
+			continue
+		}
+		m.rules = append(m.rules[:i], m.rules[i+1:]...)
+		undo := m.ruleUndo[id]
+		delete(m.ruleUndo, id)
+		m.mu.Unlock()
+		if undo != nil {
+			undo()
+		}
+		return nil
+	}
+	m.mu.Unlock()
+	m.mu.Lock()
+	found := false
 	kept := m.filters[:0]
 	for _, f := range m.filters {
 		if f.ID != id {
 			kept = append(kept, f)
+			continue
 		}
+		found = true
 	}
 	m.filters = kept
+	m.mu.Unlock()
+	if !found {
+		return fmt.Errorf("%s: no rule %q", m.Ref(), id)
+	}
+	m.Svc.Kernel().DelFilter(id)
 	return nil
 }
 

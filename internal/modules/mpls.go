@@ -40,6 +40,9 @@ type MPLS struct {
 	modprobed    bool
 	spacesSet    map[string]bool
 	rules        []*device.SwitchRuleInstance
+	// ruleUndo maps an installed rule's id to the action removing the
+	// ILM/NHLFE/XC entries it created.
+	ruleUndo map[string]func()
 	// pendingReplies holds label-exchange replies we cannot send yet
 	// because our own pipe toward the requester (and hence our link
 	// address) does not exist yet; flushed on pipe attachment.
@@ -82,6 +85,7 @@ func NewMPLS(svc device.Services, id core.ModuleID, labelBase uint32) *MPLS {
 		dnPipes:   make(map[core.PipeID]*device.Pipe),
 		neighbors: make(map[string]*mplsNeighbor),
 		spacesSet: make(map[string]bool),
+		ruleUndo:  make(map[string]func()),
 	}
 }
 
@@ -181,13 +185,60 @@ func (m *MPLS) linkAddrLocked(p *device.Pipe) string {
 	return ""
 }
 
-// PipeDeleted implements device.Module.
+// PipeDeleted implements device.Module: the pipe's switch rules (and
+// their label-switching kernel state) go with it.
 func (m *MPLS) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
 	m.mu.Lock()
-	defer m.mu.Unlock()
 	delete(m.upPipes, p.ID)
 	delete(m.dnPipes, p.ID)
+	var undos []func()
+	kept := m.rules[:0]
+	for _, r := range m.rules {
+		if r.Rule.From == p.ID || r.Rule.To == p.ID {
+			if u := m.ruleUndo[r.ID]; u != nil {
+				undos = append(undos, u)
+			}
+			delete(m.ruleUndo, r.ID)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	m.rules = kept
+	m.mu.Unlock()
+	for _, u := range undos {
+		u()
+	}
 	return nil
+}
+
+// DeleteRule removes a switch rule by id (invoked via delete()),
+// removing the ILM/NHLFE/XC entries it installed.
+func (m *MPLS) DeleteRule(id string) error {
+	m.mu.Lock()
+	for i, r := range m.rules {
+		if r.ID != id {
+			continue
+		}
+		m.rules = append(m.rules[:i], m.rules[i+1:]...)
+		undo := m.ruleUndo[id]
+		delete(m.ruleUndo, id)
+		m.mu.Unlock()
+		if undo != nil {
+			undo()
+		}
+		return nil
+	}
+	m.mu.Unlock()
+	return fmt.Errorf("%s: no switch rule %q", m.Ref(), id)
+}
+
+// nhlfeKeyInt parses the 0x-prefixed key string `mpls nhlfe add` printed.
+func nhlfeKeyInt(s string) int {
+	var v int
+	if _, err := fmt.Sscanf(s, "0x%x", &v); err != nil {
+		return -1
+	}
+	return v
 }
 
 // HandleConvey implements device.Module: the label exchange.
@@ -406,10 +457,21 @@ func (m *MPLS) installEdge(r *device.SwitchRuleInstance, up, dn *device.Pipe) er
 	if err != nil {
 		return err
 	}
+	inLabel, ingressKey := n.MyInLabel, extractNHLFEKey(out)
 	m.mu.Lock()
-	m.pushKey = extractNHLFEKey(out)
+	m.pushKey = ingressKey
 	m.pushVia = n.PeerLinkAddr.String()
 	m.rules = append(m.rules, r)
+	m.ruleUndo[r.ID] = func() {
+		k.DelILM(inLabel, 0)
+		k.DelNHLFE(nhlfeKeyInt(egressKey))
+		k.DelNHLFE(nhlfeKeyInt(ingressKey))
+		m.mu.Lock()
+		if m.pushKey == ingressKey {
+			m.pushKey, m.pushVia = "", ""
+		}
+		m.mu.Unlock()
+	}
 	notify := m.responded && !m.initiatedAny && !m.notified
 	if notify {
 		m.notified = true
@@ -449,32 +511,43 @@ func (m *MPLS) installTransit(r *device.SwitchRuleInstance, a, b *device.Pipe) e
 	k := m.Svc.Kernel()
 	// Direction A->B: traffic from neighbour A arrives with our in-label
 	// allocated for A, is swapped to B's in-label.
-	swap := func(in *mplsNeighbor, out *mplsNeighbor, outDev string) error {
+	swap := func(in *mplsNeighbor, out *mplsNeighbor, outDev string) (string, error) {
 		if _, err := k.Exec(fmt.Sprintf("mpls ilm add label gen %d labelspace 0", in.MyInLabel)); err != nil {
-			return err
+			return "", err
 		}
 		o, err := k.Exec(fmt.Sprintf("mpls nhlfe add key 0 mtu 1500 instructions push gen %d nexthop %s ipv4 %s",
 			out.PeerInLabel, outDev, out.PeerLinkAddr))
 		if err != nil {
-			return err
+			return "", err
 		}
-		return execErr(k.Exec(fmt.Sprintf("mpls xc add ilm label gen %d ilm labelspace 0 nhlfe key %s",
-			in.MyInLabel, extractNHLFEKey(o))))
+		key := extractNHLFEKey(o)
+		if _, err := k.Exec(fmt.Sprintf("mpls xc add ilm label gen %d ilm labelspace 0 nhlfe key %s",
+			in.MyInLabel, key)); err != nil {
+			return "", err
+		}
+		return key, nil
 	}
-	if err := swap(na, nb, devB); err != nil {
+	keyAB, err := swap(na, nb, devB)
+	if err != nil {
 		return err
 	}
-	if err := swap(nb, na, devA); err != nil {
+	keyBA, err := swap(nb, na, devA)
+	if err != nil {
 		return err
 	}
+	labA, labB := na.MyInLabel, nb.MyInLabel
 	m.mu.Lock()
 	m.rules = append(m.rules, r)
+	m.ruleUndo[r.ID] = func() {
+		k.DelILM(labA, 0)
+		k.DelILM(labB, 0)
+		k.DelNHLFE(nhlfeKeyInt(keyAB))
+		k.DelNHLFE(nhlfeKeyInt(keyBA))
+	}
 	m.mu.Unlock()
 	m.Svc.Kick()
 	return nil
 }
-
-func execErr(_ string, err error) error { return err }
 
 // extractNHLFEKey pulls the 0x-prefixed key out of `mpls nhlfe add`
 // output (the script does it with `grep key | cut -c 17-26`).

@@ -94,12 +94,12 @@ func (v *VLAN) Actual() core.ModuleState {
 	}
 	for id, p := range v.pipes {
 		end := core.EndDown
-		peer := p.UpperPeer
+		other, peer := p.Lower, p.UpperPeer
 		if v.sides[id] == device.SideLower {
 			end = core.EndUp
-			peer = p.LowerPeer
+			other, peer = p.Upper, p.LowerPeer
 		}
-		st.Pipes = append(st.Pipes, core.PipeState{ID: id, End: end, Peer: peer, Status: p.Status})
+		st.Pipes = append(st.Pipes, core.PipeState{ID: id, End: end, Other: other, Peer: peer, Status: p.Status})
 	}
 	for _, r := range v.rules {
 		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{ID: r.ID, From: r.Rule.From, To: r.Rule.To})
@@ -162,13 +162,51 @@ func (v *VLAN) tryExchanges() {
 	}
 }
 
-// PipeDeleted implements device.Module.
+// PipeDeleted implements device.Module: rules built on the pipe go with
+// it.
 func (v *VLAN) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	delete(v.pipes, p.ID)
 	delete(v.sides, p.ID)
+	kept := v.rules[:0]
+	for _, r := range v.rules {
+		if r.Rule.From == p.ID || r.Rule.To == p.ID {
+			continue
+		}
+		kept = append(kept, r)
+	}
+	v.rules = kept
+	v.dropDefinitionIfUnused()
 	return nil
+}
+
+// dropDefinitionIfUnused undoes the CatOS VLAN definition once no rule
+// uses this module any more, so a later re-Apply re-emits it. Caller
+// holds v.mu.
+func (v *VLAN) dropDefinitionIfUnused() {
+	if len(v.rules) > 0 || !v.defEmitted {
+		return
+	}
+	v.defEmitted = false
+	if v.vid != 0 {
+		v.Svc.Kernel().UndefineVLAN(v.vid)
+	}
+}
+
+// DeleteRule removes a switch rule by id (invoked via delete()).
+func (v *VLAN) DeleteRule(id string) error {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for i, r := range v.rules {
+		if r.ID != id {
+			continue
+		}
+		v.rules = append(v.rules[:i], v.rules[i+1:]...)
+		v.dropDefinitionIfUnused()
+		return nil
+	}
+	return fmt.Errorf("%s: no switch rule %q", v.Ref(), id)
 }
 
 // HandleConvey implements device.Module.

@@ -80,6 +80,7 @@ type delivery struct {
 // delivery queue.
 type Network struct {
 	mu       sync.Mutex
+	quiet    *sync.Cond // signalled when the pump drains the queue
 	handlers map[core.DeviceID]FrameHandler
 	ports    map[PortID]*Port
 	media    map[string]*Medium
@@ -102,7 +103,7 @@ type Network struct {
 
 // New creates an empty network.
 func New() *Network {
-	return &Network{
+	n := &Network{
 		handlers: make(map[core.DeviceID]FrameHandler),
 		ports:    make(map[PortID]*Port),
 		media:    make(map[string]*Medium),
@@ -112,6 +113,22 @@ func New() *Network {
 		txCount:  make(map[PortID]uint64),
 		rxCount:  make(map[PortID]uint64),
 	}
+	n.quiet = sync.NewCond(&n.mu)
+	return n
+}
+
+// Flush blocks until the network is quiescent: no pump is running and
+// the delivery queue is empty. A Send racing an active pump enqueues
+// into that pump and returns immediately, so concurrent data-plane
+// tests (parallel probe sweeps, SelfTest fan-out) call Flush to get a
+// deterministic read-after-send barrier before inspecting delivery
+// state.
+func (n *Network) Flush() {
+	n.mu.Lock()
+	for n.pumping || len(n.queue) > 0 {
+		n.quiet.Wait()
+	}
+	n.mu.Unlock()
 }
 
 // AddDevice registers a frame handler for a device. Ports may be added
@@ -334,6 +351,7 @@ func (n *Network) pump() {
 		n.mu.Lock()
 		if len(n.queue) == 0 {
 			n.pumping = false
+			n.quiet.Broadcast()
 			n.mu.Unlock()
 			return
 		}

@@ -46,14 +46,16 @@ func BuildGraph(n *NM) (*Graph, error) {
 		phys:  make(map[string][]PhysAttachment),
 	}
 	// Nodes.
+	type portTop struct {
+		peerDev  core.DeviceID
+		peerPort string
+		external bool
+		attached bool
+	}
 	type devModules struct {
 		dev  core.DeviceID
 		mods []core.Abstraction
-		top  map[string]struct {
-			peerDev  core.DeviceID
-			peerPort string
-			external bool
-		}
+		top  map[string]portTop
 	}
 	var devs []devModules
 	for _, id := range n.Devices() {
@@ -61,17 +63,9 @@ func BuildGraph(n *NM) (*Graph, error) {
 		if info == nil || len(info.Modules) == 0 {
 			continue
 		}
-		dm := devModules{dev: id, mods: info.Modules, top: make(map[string]struct {
-			peerDev  core.DeviceID
-			peerPort string
-			external bool
-		})}
+		dm := devModules{dev: id, mods: info.Modules, top: make(map[string]portTop)}
 		for _, p := range info.Topology.Ports {
-			dm.top[p.Name] = struct {
-				peerDev  core.DeviceID
-				peerPort string
-				external bool
-			}{p.PeerDevice, p.PeerPort, p.External}
+			dm.top[p.Name] = portTop{p.PeerDevice, p.PeerPort, p.External, p.Attached}
 		}
 		devs = append(devs, dm)
 	}
@@ -116,7 +110,9 @@ func BuildGraph(n *NM) (*Graph, error) {
 				port := strings.TrimPrefix(string(pp.Pipe), "Phy-")
 				t, ok := dm.top[port]
 				att := PhysAttachment{Pipe: pp.Pipe, External: pp.External || (ok && t.external)}
-				if ok && t.peerDev != "" && !att.External {
+				// A reported-down link (cut wire, §III-C.2) contributes no
+				// physical edge, so the path finder routes around it.
+				if ok && t.peerDev != "" && t.attached && !att.External {
 					if peer, found := portOwner[string(t.peerDev)+"/"+t.peerPort]; found {
 						att.Peer = peer
 						att.PeerPipe = core.PipeID("Phy-" + t.peerPort)

@@ -1,0 +1,579 @@
+package nm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conman/internal/core"
+	"conman/internal/msg"
+)
+
+// Intent is a declarative connectivity goal: the NM holds it as desired
+// state and can (re)derive device configuration from it at any time —
+// the paper's model of a manager that keeps high-level goals and
+// re-invokes configuration after failures (§II, §IV). An Intent is
+// side-effect free; Plan computes what would change and Apply reconciles
+// the network toward it.
+type Intent struct {
+	// Name identifies the intent in plan renderings.
+	Name string
+	// Goal is the high-level connectivity goal (§III-C).
+	Goal Goal
+	// Prefer pins a path flavour by its Describe() string ("GRE-IP
+	// tunnel", "MPLS", "VLAN tunnel"); empty selects the paper's path
+	// selector (minimise pipes, prefer fast forwarding).
+	Prefer string
+	// MaxPaths bounds the path enumeration (0 = DefaultMaxPaths).
+	MaxPaths int
+}
+
+// Plan is the diff between an intent's desired configuration and the
+// device state the NM observed via showActual: per-device delete batches
+// for stale components and create batches for missing ones. A Plan is
+// inert until Apply executes it, so it doubles as the dry-run rendering.
+type Plan struct {
+	Intent Intent
+	// Path is the chosen module-level path (nil for destroy plans the
+	// intent could no longer resolve).
+	Path *Path
+	// Deletes are per-device batches removing stale components (switch
+	// rules first, then pipes). Executed before Creates.
+	Deletes []DeviceScript
+	// Creates are per-device batches creating missing components, in
+	// compiler order.
+	Creates []DeviceScript
+	// InPlace counts desired components that were already configured and
+	// therefore appear in neither batch.
+	InPlace int
+
+	// touched is the device set of the intent's current path; a
+	// successful Apply records it so later Plans prune devices the path
+	// migrated away from. Destroy plans clear the record instead.
+	touched []core.DeviceID
+	destroy bool
+}
+
+// Empty reports whether applying the plan would send no commands.
+func (p *Plan) Empty() bool { return len(p.Deletes) == 0 && len(p.Creates) == 0 }
+
+// Render prints the plan in the dry-run style of declarative tooling:
+// every command that Apply would send, per device, plus a summary line.
+func (p *Plan) Render() string {
+	var b strings.Builder
+	title := p.Intent.Name
+	if title == "" {
+		title = "(unnamed)"
+	}
+	fmt.Fprintf(&b, "plan for intent %q", title)
+	if p.Path != nil {
+		fmt.Fprintf(&b, " — path %s: %s", p.Path.Describe(), p.Path.Modules())
+	}
+	b.WriteString("\n")
+	for _, ds := range p.Deletes {
+		for _, line := range ds.Rendered {
+			fmt.Fprintf(&b, "  %s: %s\n", ds.Device, line)
+		}
+	}
+	for _, ds := range p.Creates {
+		for _, line := range ds.Rendered {
+			fmt.Fprintf(&b, "  %s: %s\n", ds.Device, line)
+		}
+	}
+	creates, deletes := 0, 0
+	for _, ds := range p.Creates {
+		creates += len(ds.Items)
+	}
+	for _, ds := range p.Deletes {
+		deletes += len(ds.Items)
+	}
+	if p.Empty() {
+		fmt.Fprintf(&b, "  no changes (%d components in place)\n", p.InPlace)
+	} else {
+		fmt.Fprintf(&b, "  %d to create, %d to delete, %d in place\n", creates, deletes, p.InPlace)
+	}
+	return b.String()
+}
+
+// compileIntent resolves an intent to its chosen path and the full
+// desired per-device scripts (what a from-scratch configuration would
+// execute).
+func (n *NM) compileIntent(intent Intent) (*Path, []DeviceScript, error) {
+	g, err := BuildGraph(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	paths, _, err := g.FindPaths(FindSpec{
+		From:          intent.Goal.From,
+		To:            intent.Goal.To,
+		TrafficDomain: intent.Goal.TrafficDomain,
+		MaxPaths:      intent.MaxPaths,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	var chosen *Path
+	if intent.Prefer != "" {
+		for _, p := range paths {
+			if p.Describe() == intent.Prefer {
+				chosen = p
+				break
+			}
+		}
+		if chosen == nil {
+			return nil, nil, fmt.Errorf("nm: intent %q: no %q path among %d found", intent.Name, intent.Prefer, len(paths))
+		}
+	} else {
+		chosen = SelectPath(paths)
+		if chosen == nil {
+			return nil, nil, fmt.Errorf("nm: intent %q: no path satisfies the goal", intent.Name)
+		}
+	}
+	scripts, err := n.Compile(chosen, intent.Goal)
+	if err != nil {
+		return nil, nil, err
+	}
+	return chosen, scripts, nil
+}
+
+// observed is the NM's per-device view of configured components, built
+// from showActual.
+type observed struct {
+	// pipes maps a pipe id to the (upper, lower) modules it connects
+	// and their remote peers. Physical pipes are excluded: the NM
+	// cannot create or delete them.
+	pipes map[core.PipeID]obsPipe
+	// rules lists installed switch rules across the device's modules.
+	rules []obsRule
+}
+
+type obsPipe struct {
+	upper, lower         core.ModuleRef
+	upperPeer, lowerPeer core.ModuleRef
+	// upperSeen reports whether the upper module reported the pipe (so
+	// upperPeer is meaningful; switch ETH modules do not track pipes
+	// they sit above).
+	upperSeen bool
+}
+
+// matches reports whether the observed pipe satisfies a desired pipe
+// request: same modules AND same remote peers — a pipe whose far-end
+// peer changed must be recreated so the modules renegotiate (VID,
+// keys, labels) with the new peer.
+func (o obsPipe) matches(req core.PipeRequest) bool {
+	if o.upper != req.Upper || o.lower != req.Lower || o.lowerPeer != req.LowerPeer {
+		return false
+	}
+	if o.upperSeen {
+		return o.upperPeer == req.UpperPeer
+	}
+	// The upper module does not report its pipes; only a peer-less
+	// desired upper end can be confirmed in place.
+	return req.UpperPeer.IsZero()
+}
+
+type obsRule struct {
+	id       string
+	module   core.ModuleRef
+	from, to core.PipeID
+	match    string
+	via      string
+	used     bool
+}
+
+func classifierKey(c *core.Classifier) string {
+	if c == nil {
+		return ""
+	}
+	return c.Kind + "=" + c.Value
+}
+
+// observe fetches showActual for every device and condenses it into the
+// diffable view. Devices are queried on the NM's worker pool.
+func (n *NM) observe(devs []core.DeviceID) (map[core.DeviceID]*observed, error) {
+	out := make([]*observed, len(devs))
+	err := n.forEach(len(devs), func(i int) error {
+		states, err := n.ShowActual(devs[i])
+		if err != nil {
+			return err
+		}
+		o := &observed{pipes: make(map[core.PipeID]obsPipe)}
+		for _, st := range states {
+			for _, ps := range st.Pipes {
+				// The module below a pipe reports it as an up pipe (Other
+				// = the module above, Peer = its own remote peer); the
+				// module above reports the same pipe as a down pipe
+				// carrying the upper-side peer. Physical pipes are not
+				// diffable.
+				switch ps.End {
+				case core.EndUp:
+					op := o.pipes[ps.ID]
+					op.upper, op.lower, op.lowerPeer = ps.Other, st.Ref, ps.Peer
+					o.pipes[ps.ID] = op
+				case core.EndDown:
+					op := o.pipes[ps.ID]
+					op.upperPeer, op.upperSeen = ps.Peer, true
+					o.pipes[ps.ID] = op
+				}
+			}
+			for _, r := range st.SwitchRules {
+				o.rules = append(o.rules, obsRule{
+					id: r.ID, module: st.Ref,
+					from: r.From, to: r.To,
+					match: classifierKey(r.Match), via: r.Via,
+				})
+			}
+		}
+		out[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[core.DeviceID]*observed, len(devs))
+	for i, d := range devs {
+		m[d] = out[i]
+	}
+	return m, nil
+}
+
+func scriptDevices(scripts []DeviceScript) []core.DeviceID {
+	out := make([]core.DeviceID, len(scripts))
+	for i := range scripts {
+		out[i] = scripts[i].Device
+	}
+	return out
+}
+
+// strandedDevices returns the devices a previous Apply of this intent
+// touched that the current path no longer visits, in sorted order.
+func (n *NM) strandedDevices(intentName string, current []core.DeviceID) []core.DeviceID {
+	if intentName == "" {
+		return nil
+	}
+	cur := make(map[core.DeviceID]bool, len(current))
+	for _, d := range current {
+		cur[d] = true
+	}
+	n.mu.Lock()
+	var out []core.DeviceID
+	for d := range n.intentDevs[intentName] {
+		if !cur[d] {
+			out = append(out, d)
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// recordIntent updates the NM's memory of which devices an applied
+// plan's intent occupies.
+func (n *NM) recordIntent(plan *Plan) {
+	if plan.Intent.Name == "" {
+		return
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if plan.destroy {
+		delete(n.intentDevs, plan.Intent.Name)
+		return
+	}
+	set := make(map[core.DeviceID]bool, len(plan.touched))
+	for _, d := range plan.touched {
+		set[d] = true
+	}
+	n.intentDevs[plan.Intent.Name] = set
+}
+
+// pruneAll builds a delete batch removing every observed switch rule
+// and NM-created pipe of one device (used for devices an intent's path
+// migrated away from).
+func pruneAll(dev core.DeviceID, o *observed) DeviceScript {
+	del := DeviceScript{Device: dev}
+	for j := range o.rules {
+		or := &o.rules[j]
+		di, rendered := deleteItem(core.DeleteRequest{
+			Kind: core.ComponentSwitchRule, Module: or.module, ID: or.id,
+		})
+		del.Items = append(del.Items, di)
+		del.Rendered = append(del.Rendered, rendered)
+	}
+	ids := make([]core.PipeID, 0, len(o.pipes))
+	for id, op := range o.pipes {
+		if op.lower.IsZero() {
+			continue
+		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		di, rendered := deleteItem(core.DeleteRequest{
+			Kind: core.ComponentPipe, Module: o.pipes[id].lower, ID: string(id),
+		})
+		del.Items = append(del.Items, di)
+		del.Rendered = append(del.Rendered, rendered)
+	}
+	return del
+}
+
+// deleteItem builds one delete command plus its rendering.
+func deleteItem(req core.DeleteRequest) (msg.CommandItem, string) {
+	return msg.CommandItem{Delete: &msg.DeleteReq{Req: req}},
+		fmt.Sprintf("delete (%s, %s, %s)", req.Kind, req.Module, req.ID)
+}
+
+// Plan computes the reconciliation diff for an intent: it compiles the
+// desired configuration, observes the actual state of every device on
+// the chosen path — plus any device a previous Apply of this intent
+// touched that the path has since migrated away from — and returns
+// per-device batches that create what is missing and delete what is
+// stale. Planning sends no configuration commands; Apply(plan) twice
+// in a row therefore sends zero commands on the second pass.
+func (n *NM) Plan(intent Intent) (*Plan, error) {
+	path, desired, err := n.compileIntent(intent)
+	if err != nil {
+		return nil, err
+	}
+	devs := scriptDevices(desired)
+	stranded := n.strandedDevices(intent.Name, devs)
+	obs, err := n.observe(append(append([]core.DeviceID(nil), devs...), stranded...))
+	if err != nil {
+		return nil, err
+	}
+
+	plan := &Plan{Intent: intent, Path: path, touched: devs}
+	// Devices a previous Apply of this intent touched but the current
+	// path avoids (e.g. rerouted around a failure): everything on them
+	// is stale.
+	for _, dev := range stranded {
+		if del := pruneAll(dev, obs[dev]); len(del.Items) > 0 {
+			plan.Deletes = append(plan.Deletes, del)
+		}
+	}
+	for _, ds := range desired {
+		o := obs[ds.Device]
+		var creates DeviceScript
+		var delRules, delPipes DeviceScript
+		creates.Device, delRules.Device, delPipes.Device = ds.Device, ds.Device, ds.Device
+
+		// Pipe pass: decide which desired pipes are in place. A pipe id
+		// observed with different endpoints is churned: deleted and
+		// recreated. Rules referencing churned pipes cannot be kept.
+		churned := map[core.PipeID]bool{}
+		desiredPipes := map[core.PipeID]bool{}
+		for _, item := range ds.Items {
+			if item.Pipe == nil {
+				continue
+			}
+			id := item.Pipe.ID
+			desiredPipes[id] = true
+			got, exists := o.pipes[id]
+			switch {
+			case exists && got.matches(item.Pipe.Req):
+				plan.InPlace++
+			case exists:
+				// Same id, different endpoints or peers: replace, so the
+				// modules renegotiate with the new far end.
+				di, rendered := deleteItem(core.DeleteRequest{
+					Kind: core.ComponentPipe, Module: got.lower, ID: string(id),
+				})
+				delPipes.Items = append(delPipes.Items, di)
+				delPipes.Rendered = append(delPipes.Rendered, rendered)
+				churned[id] = true
+			default:
+				churned[id] = true
+			}
+		}
+
+		// Stale pipes: observed, deletable, but not desired. (Entries
+		// with a zero lower module were only reported from their upper
+		// end and cannot be addressed for deletion.)
+		var staleIDs []core.PipeID
+		for id, op := range o.pipes {
+			if !desiredPipes[id] && !op.lower.IsZero() {
+				staleIDs = append(staleIDs, id)
+			}
+		}
+		sort.Slice(staleIDs, func(i, j int) bool { return staleIDs[i] < staleIDs[j] })
+		for _, id := range staleIDs {
+			di, rendered := deleteItem(core.DeleteRequest{
+				Kind: core.ComponentPipe, Module: o.pipes[id].lower, ID: string(id),
+			})
+			delPipes.Items = append(delPipes.Items, di)
+			delPipes.Rendered = append(delPipes.Rendered, rendered)
+			churned[id] = true
+		}
+
+		// Item pass, in compiler order (so the create batch reads exactly
+		// like a from-scratch script): a desired pipe is created unless
+		// in place; a desired rule is in place iff an identical rule is
+		// observed and none of its pipes churned. Every observed rule not
+		// kept this way is stale and deleted (its pipes changed, or it
+		// belongs to a previous configuration).
+		for i, item := range ds.Items {
+			switch {
+			case item.Pipe != nil:
+				if churned[item.Pipe.ID] {
+					creates.Items = append(creates.Items, item)
+					creates.Rendered = append(creates.Rendered, ds.Rendered[i])
+				}
+			case item.Switch != nil:
+				r := item.Switch.Rule
+				kept := false
+				if !churned[r.From] && !churned[r.To] {
+					for j := range o.rules {
+						or := &o.rules[j]
+						if or.used || or.module != r.Module || or.from != r.From || or.to != r.To {
+							continue
+						}
+						if or.match != classifierKey(r.Match) || or.via != r.Via {
+							continue
+						}
+						or.used = true
+						kept = true
+						break
+					}
+				}
+				if kept {
+					plan.InPlace++
+					continue
+				}
+				creates.Items = append(creates.Items, item)
+				creates.Rendered = append(creates.Rendered, ds.Rendered[i])
+			default:
+				// Filters and other non-diffed items always execute.
+				creates.Items = append(creates.Items, item)
+				creates.Rendered = append(creates.Rendered, ds.Rendered[i])
+			}
+		}
+		for j := range o.rules {
+			or := &o.rules[j]
+			if or.used {
+				continue
+			}
+			di, rendered := deleteItem(core.DeleteRequest{
+				Kind: core.ComponentSwitchRule, Module: or.module, ID: or.id,
+			})
+			delRules.Items = append(delRules.Items, di)
+			delRules.Rendered = append(delRules.Rendered, rendered)
+		}
+
+		// Rules are deleted before the pipes they reference so modules
+		// can undo rule state while the pipes still exist.
+		del := DeviceScript{Device: ds.Device}
+		del.Items = append(append(del.Items, delRules.Items...), delPipes.Items...)
+		del.Rendered = append(append(del.Rendered, delRules.Rendered...), delPipes.Rendered...)
+		if len(del.Items) > 0 {
+			plan.Deletes = append(plan.Deletes, del)
+		}
+		if len(creates.Items) > 0 {
+			plan.Creates = append(plan.Creates, creates)
+		}
+	}
+	return plan, nil
+}
+
+// PlanDestroy computes the teardown plan for an intent: every component
+// of the intent's configuration that is actually present is deleted
+// (switch rules first, then pipes, in reverse creation order). Planning
+// sends no configuration commands.
+func (n *NM) PlanDestroy(intent Intent) (*Plan, error) {
+	path, desired, err := n.compileIntent(intent)
+	if err != nil {
+		return nil, err
+	}
+	devs := scriptDevices(desired)
+	stranded := n.strandedDevices(intent.Name, devs)
+	obs, err := n.observe(append(append([]core.DeviceID(nil), devs...), stranded...))
+	if err != nil {
+		return nil, err
+	}
+	plan := &Plan{Intent: intent, Path: path, destroy: true}
+	for _, dev := range stranded {
+		if del := pruneAll(dev, obs[dev]); len(del.Items) > 0 {
+			plan.Deletes = append(plan.Deletes, del)
+		}
+	}
+	for _, ds := range desired {
+		o := obs[ds.Device]
+		var rules, pipes DeviceScript
+		// Reverse creation order so dependent rules go before the pipes
+		// they were built on.
+		for i := len(ds.Items) - 1; i >= 0; i-- {
+			item := ds.Items[i]
+			switch {
+			case item.Switch != nil:
+				r := item.Switch.Rule
+				for j := range o.rules {
+					or := &o.rules[j]
+					if or.used || or.module != r.Module || or.from != r.From || or.to != r.To {
+						continue
+					}
+					if or.match != classifierKey(r.Match) || or.via != r.Via {
+						continue
+					}
+					or.used = true
+					di, rendered := deleteItem(core.DeleteRequest{
+						Kind: core.ComponentSwitchRule, Module: or.module, ID: or.id,
+					})
+					rules.Items = append(rules.Items, di)
+					rules.Rendered = append(rules.Rendered, rendered)
+					break
+				}
+			case item.Pipe != nil:
+				got, exists := o.pipes[item.Pipe.ID]
+				if !exists || got.lower.IsZero() {
+					continue
+				}
+				di, rendered := deleteItem(core.DeleteRequest{
+					Kind: core.ComponentPipe, Module: got.lower, ID: string(item.Pipe.ID),
+				})
+				pipes.Items = append(pipes.Items, di)
+				pipes.Rendered = append(pipes.Rendered, rendered)
+			}
+		}
+		del := DeviceScript{Device: ds.Device}
+		del.Items = append(append(del.Items, rules.Items...), pipes.Items...)
+		del.Rendered = append(append(del.Rendered, rules.Rendered...), pipes.Rendered...)
+		if len(del.Items) > 0 {
+			plan.Deletes = append(plan.Deletes, del)
+		}
+	}
+	return plan, nil
+}
+
+// Apply reconciles the network toward the plan's intent: stale
+// components are deleted first, then missing ones created, both through
+// the wave executor (one batch per device per phase, concurrently
+// across devices unless n.Sequential). Applying an empty plan sends
+// nothing; applying the same intent's fresh Plan right after a
+// successful Apply is therefore a no-op.
+func (n *NM) Apply(plan *Plan) error {
+	if len(plan.Deletes) > 0 {
+		if err := n.Execute(plan.Deletes); err != nil {
+			return fmt.Errorf("nm: apply %q (teardown phase): %w", plan.Intent.Name, err)
+		}
+	}
+	if len(plan.Creates) > 0 {
+		if err := n.Execute(plan.Creates); err != nil {
+			return fmt.Errorf("nm: apply %q: %w", plan.Intent.Name, err)
+		}
+	}
+	n.recordIntent(plan)
+	return nil
+}
+
+// Destroy tears an intent's configuration back down: it plans the
+// teardown against observed state and applies it, returning the plan
+// that was executed.
+func (n *NM) Destroy(intent Intent) (*Plan, error) {
+	plan, err := n.PlanDestroy(intent)
+	if err != nil {
+		return nil, err
+	}
+	if err := n.Apply(plan); err != nil {
+		return plan, err
+	}
+	return plan, nil
+}

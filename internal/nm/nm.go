@@ -60,6 +60,35 @@ type relayOrigin struct {
 	id  uint64
 }
 
+// logEntry is one recorded management-channel event, tagged with the
+// stream it belongs to and its sequence number within that stream. A
+// stream is a causally ordered unit of traffic: one device's command
+// batches, or one module-pair conversation (whose init/reply/ack all
+// pass through the NM in order). Under the concurrent executor the
+// global arrival interleave across streams is nondeterministic, but
+// each stream's internal order is not — so sorting by (stream, seq)
+// yields a trace that is byte-reproducible run to run.
+type logEntry struct {
+	stream string
+	seq    uint64
+	text   string
+}
+
+func (e logEntry) String() string {
+	return fmt.Sprintf("[%s #%d] %s", e.stream, e.seq, e.text)
+}
+
+// conveyStream names the conversation stream of a relayed module
+// message: direction-normalised module pair plus message kind, so a
+// request and its reply land in the same stream.
+func conveyStream(a, b core.ModuleRef, kind string) string {
+	as, bs := a.String(), b.String()
+	if bs < as {
+		as, bs = bs, as
+	}
+	return "convey:" + as + "~" + bs + ":" + kind
+}
+
 // NM is the network manager.
 type NM struct {
 	mu       sync.Mutex
@@ -80,11 +109,18 @@ type NM struct {
 	domains  map[string]string
 	gateways map[string]string
 
+	// intentDevs remembers, per applied intent name, the devices its
+	// configuration touched, so a later Plan can prune state from
+	// devices a re-chosen path no longer traverses (reroute after
+	// failure).
+	intentDevs map[string]map[core.DeviceID]bool
+
 	notifies []msg.Notify
 	triggers []msg.Trigger
 
 	logEnabled bool
-	msgLog     []string
+	msgLog     []logEntry
+	logSeq     map[string]uint64
 
 	// OnTrigger, when set, is invoked for dependency-maintenance
 	// triggers (§II-E).
@@ -114,6 +150,7 @@ func New() *NM {
 		relays:      make(map[uint64]relayOrigin),
 		domains:     make(map[string]string),
 		gateways:    make(map[string]string),
+		intentDevs:  make(map[string]map[core.DeviceID]bool),
 		CallTimeout: 5 * time.Second,
 	}
 }
@@ -172,29 +209,55 @@ func (n *NM) ResetCounters() {
 	defer n.mu.Unlock()
 	n.counters = Counters{}
 	n.msgLog = nil
+	n.logSeq = nil
 }
 
 // EnableMessageLog starts recording a human-readable trace of the NM's
 // management-channel traffic (used to regenerate the paper's Fig 3
-// message sequence).
+// message sequence). Entries carry per-device sequence numbers.
 func (n *NM) EnableMessageLog() {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.logEnabled = true
 }
 
-// MessageLog returns the recorded trace.
+// MessageLog returns the recorded trace. Under the concurrent executor
+// the arrival interleave across streams is nondeterministic, so the
+// trace is returned in canonical order — streams sorted by name, each
+// stream's entries in causal sequence — which is byte-reproducible run
+// to run. In Sequential mode arrival order is itself deterministic and
+// chronological (the paper's Fig 3 is a time-ordered sequence diagram),
+// so the trace keeps it.
 func (n *NM) MessageLog() []string {
 	n.mu.Lock()
-	defer n.mu.Unlock()
-	return append([]string(nil), n.msgLog...)
+	entries := append([]logEntry(nil), n.msgLog...)
+	n.mu.Unlock()
+	if !n.Sequential {
+		sort.SliceStable(entries, func(i, j int) bool {
+			if entries[i].stream != entries[j].stream {
+				return entries[i].stream < entries[j].stream
+			}
+			return entries[i].seq < entries[j].seq
+		})
+	}
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.String()
+	}
+	return out
 }
 
-func (n *NM) logf(format string, args ...any) {
+// logf records one event in the given stream. Caller must pick the
+// stream so that all its events are causally ordered at the NM.
+func (n *NM) logf(stream string, format string, args ...any) {
 	if !n.logEnabled {
 		return
 	}
-	n.msgLog = append(n.msgLog, fmt.Sprintf(format, args...))
+	if n.logSeq == nil {
+		n.logSeq = make(map[string]uint64)
+	}
+	n.logSeq[stream]++
+	n.msgLog = append(n.msgLog, logEntry{stream: stream, seq: n.logSeq[stream], text: fmt.Sprintf(format, args...)})
 }
 
 // Devices returns the known device ids in hello order.
@@ -270,7 +333,7 @@ func (n *NM) handle(env msg.Envelope) {
 		}
 		n.mu.Lock()
 		n.counters.RelayIn++
-		n.logf("conveyMessage (%s -> %s, %s)", c.FromModule, c.ToModule, c.Kind)
+		n.logf(conveyStream(c.FromModule, c.ToModule, c.Kind), "conveyMessage (%s -> %s, %s)", c.FromModule, c.ToModule, c.Kind)
 		ep := n.ep
 		n.mu.Unlock()
 		out := msg.MustNew(msg.TypeConvey, msg.NMName, string(c.ToModule.Device), env.ID, c)
@@ -290,7 +353,8 @@ func (n *NM) handle(env msg.Envelope) {
 		n.relaySeq++
 		rid := n.relaySeq
 		n.relays[rid] = relayOrigin{dev: env.From, id: env.ID}
-		n.logf("listFieldsAndValues(%s) from %s", req.Target, req.Requester)
+		n.logf("fields:"+req.Requester.String()+"~"+req.Target.String(),
+			"listFieldsAndValues(%s) from %s", req.Target, req.Requester)
 		ep := n.ep
 		n.mu.Unlock()
 		out := msg.MustNew(msg.TypeListFieldsReq, msg.NMName, string(req.Target.Device), rid, req)
@@ -333,7 +397,7 @@ func (n *NM) handle(env msg.Envelope) {
 		n.mu.Lock()
 		n.counters.NotifyRecv++
 		n.notifies = append(n.notifies, note)
-		n.logf("notify (%s: %s)", note.Module, note.Kind)
+		n.logf("notify:"+note.Module.String(), "notify (%s: %s)", note.Module, note.Kind)
 		n.mu.Unlock()
 
 	case msg.TypeTrigger:
@@ -468,7 +532,7 @@ func (n *NM) ShowActual(dev core.DeviceID) ([]core.ModuleState, error) {
 func (n *NM) ExecuteBatch(dev core.DeviceID, items []msg.CommandItem) (msg.CommandBatchResp, error) {
 	n.mu.Lock()
 	n.counters.CmdSent++
-	n.logf("command batch -> %s (%d items)", dev, len(items))
+	n.logf("cmd:"+string(dev), "command batch -> %s (%d items)", dev, len(items))
 	n.mu.Unlock()
 	resp, err := n.call(msg.TypeCommandBatchReq, dev, msg.CommandBatchReq{Items: items})
 	if err != nil {

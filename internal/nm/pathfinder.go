@@ -157,6 +157,11 @@ type PruneStats struct {
 	ExternalLeak   int // customer L2 header handled off the endpoints
 }
 
+// DefaultMaxPaths is the enumeration cap applied when FindSpec.MaxPaths
+// is zero. On long L2 chains the variant space is exponential; the
+// canonical-first mode ordering keeps the selected path inside the cap.
+const DefaultMaxPaths = 1000
+
 // FindSpec describes what the path finder should connect.
 type FindSpec struct {
 	// From/To are the endpoint (customer-facing) ETH modules.
@@ -164,7 +169,7 @@ type FindSpec struct {
 	// TrafficDomain is the address domain of the customer traffic the
 	// path must carry (e.g. "C1").
 	TrafficDomain string
-	// MaxPaths bounds the search (0 = 1000).
+	// MaxPaths bounds the search (0 = DefaultMaxPaths).
 	MaxPaths int
 	// MaxDepth bounds path length in hops. Zero derives the bound from
 	// the graph: twice the node count, the upper limit the per-module
@@ -232,7 +237,7 @@ func (g *Graph) FindPaths(spec FindSpec) ([]*Path, PruneStats, error) {
 		maxDepth: spec.MaxDepth,
 	}
 	if f.max == 0 {
-		f.max = 1000
+		f.max = DefaultMaxPaths
 	}
 	if f.maxDepth == 0 {
 		f.maxDepth = 2 * len(g.nodes)
