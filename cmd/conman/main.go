@@ -1,13 +1,17 @@
 // Command conman drives the CONMan reproduction: the declarative
 // intent lifecycle (plan / apply / destroy) on the paper's evaluation
-// testbeds, regeneration of every table and figure of §III, and the
-// scale benchmark with JSON output for CI trend tracking.
+// testbeds, the multi-intent store (submit / withdraw / reconcile) on a
+// shared-core demo topology, regeneration of every table and figure of
+// §III, and the scale benchmark with JSON output for CI trend tracking.
 //
 // Usage:
 //
 //	conman plan <gre|mpls|vlan>
 //	conman apply [-dry-run] <gre|mpls|vlan>
 //	conman destroy [-dry-run] <gre|mpls|vlan>
+//	conman submit
+//	conman reconcile [-dry-run]
+//	conman withdraw [-dry-run] <vpn-c1|vpn-c2>
 //	conman bench [-out FILE]
 //	conman table3|table4|table5|table6|fig3|fig5|fig7|fig8|fig9|paths|all
 package main
@@ -30,8 +34,17 @@ func main() {
 	}
 	cmd, args := os.Args[1], os.Args[2:]
 	switch cmd {
+	case "-h", "--help", "help":
+		usage()
+		return
 	case "plan", "apply", "destroy":
 		if err := runIntent(cmd, args); err != nil {
+			fmt.Fprintf(os.Stderr, "conman %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+		return
+	case "submit", "reconcile", "withdraw":
+		if err := runStore(cmd, args); err != nil {
 			fmt.Fprintf(os.Stderr, "conman %s: %v\n", cmd, err)
 			os.Exit(1)
 		}
@@ -70,6 +83,23 @@ intent lifecycle (declarative API):
                               the teardown plan without executing it)
 
   scenarios: gre, mpls (Fig 4 routed testbed), vlan (Fig 9 switched)
+
+intent store (multi-goal reconciliation, shared-core diamond demo):
+  submit                      register both demo VPN intents in the
+                              store and print the store-wide plan
+                              (dry run; submitting sends nothing)
+  reconcile [-dry-run]        submit both intents and reconcile the
+                              network to their union: shared transit
+                              state is configured once, both customer
+                              pairs are verified, and a second
+                              reconcile proves zero commands
+                              (-dry-run stops after printing the plan)
+  withdraw [-dry-run] <name>  reconcile both intents, withdraw <name>
+                              (vpn-c1 or vpn-c2), reconcile again, and
+                              prove only its unshared components were
+                              removed — the surviving VPN still
+                              delivers (-dry-run prints the withdrawal
+                              plan without executing it)
 
 benchmarks:
   bench [-out FILE]           run the linear-n scale suite and emit the
@@ -182,6 +212,128 @@ func runIntent(cmd string, args []string) error {
 		return err
 	}
 	fmt.Printf("re-plan after destroy: %d components to create\n", countItems(again.Creates))
+	return nil
+}
+
+// runStore drives the intent-store demo: two customer VPNs crossing the
+// same diamond of switches (shared edge and transit devices), managed
+// through Submit / Withdraw / Reconcile.
+func runStore(cmd string, args []string) error {
+	dryRun := false
+	var names []string
+	for _, a := range args {
+		if a == "-dry-run" || a == "--dry-run" {
+			dryRun = true
+			continue
+		}
+		names = append(names, a)
+	}
+	tb, pairs, err := experiments.BuildDiamondShared(2)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	for _, p := range pairs {
+		if err := tb.NM.Submit(p.Intent("VLAN tunnel")); err != nil {
+			return err
+		}
+	}
+
+	if cmd == "submit" {
+		if len(names) != 0 {
+			usage()
+			return fmt.Errorf("submit takes no arguments")
+		}
+		plan, err := tb.NM.PlanStore()
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan.Render())
+		fmt.Println("dry run: submitting only records desired state; run 'conman reconcile' to configure")
+		return nil
+	}
+
+	if cmd == "reconcile" {
+		if len(names) != 0 {
+			usage()
+			return fmt.Errorf("reconcile takes no arguments")
+		}
+		plan, err := tb.NM.PlanStore()
+		if err != nil {
+			return err
+		}
+		fmt.Print(plan.Render())
+		if dryRun {
+			fmt.Println("dry run: no commands sent")
+			return nil
+		}
+		if err := tb.NM.ApplyStore(plan); err != nil {
+			return err
+		}
+		c := tb.NM.Counters()
+		fmt.Printf("reconciled: %d messages sent, %d received\n", c.Sent(), c.Received())
+		for i, p := range pairs {
+			if err := tb.VerifyPair(p, uint32(4242+100*i)); err != nil {
+				return fmt.Errorf("data-plane verification (pair %d): %w", p.Index, err)
+			}
+		}
+		fmt.Println("data plane verified: both customer pairs deliver over the shared core")
+		again, err := tb.NM.Reconcile()
+		if err != nil {
+			return err
+		}
+		if !again.Empty() {
+			return fmt.Errorf("re-reconcile not empty:\n%s", again.Render())
+		}
+		fmt.Printf("re-reconcile: no changes (%d components in place, %d shared) — reconcile is idempotent\n",
+			again.InPlace, again.Shared)
+		return nil
+	}
+
+	// withdraw
+	if len(names) != 1 {
+		usage()
+		return fmt.Errorf("withdraw needs exactly one intent name (vpn-c1 or vpn-c2)")
+	}
+	known := false
+	for _, in := range tb.NM.Registered() {
+		if in.Name == names[0] {
+			known = true
+		}
+	}
+	if !known {
+		return fmt.Errorf("no intent %q registered (want vpn-c1 or vpn-c2)", names[0])
+	}
+	if _, err := tb.NM.Reconcile(); err != nil {
+		return err
+	}
+	fmt.Println("reconciled both intents over the shared core")
+	if err := tb.NM.Withdraw(names[0]); err != nil {
+		return err
+	}
+	plan, err := tb.NM.PlanStore()
+	if err != nil {
+		return err
+	}
+	fmt.Print(plan.Render())
+	if dryRun {
+		fmt.Println("dry run: withdrawal not executed")
+		return nil
+	}
+	if err := tb.NM.ApplyStore(plan); err != nil {
+		return err
+	}
+	fmt.Printf("withdrawn %q: %d delete batches executed, shared components kept\n", names[0], len(plan.Deletes))
+	for _, p := range pairs {
+		name := p.Intent("VLAN tunnel").Name
+		if name == names[0] {
+			continue
+		}
+		if err := tb.VerifyPair(p, 5353); err != nil {
+			return fmt.Errorf("surviving intent %q broken by withdrawal: %w", name, err)
+		}
+		fmt.Printf("surviving intent %q still delivers\n", name)
+	}
 	return nil
 }
 

@@ -50,6 +50,27 @@
 // DiscoverAll/FindPaths/Compile/Execute chain could not. Compile and
 // Execute remain available as the underlying engine.
 //
+// # The intent store
+//
+// Above the per-intent lifecycle sits the intent store — the paper's
+// "NM holds all the goals" model:
+//
+//	err = nm.Submit(intentA)       // register goals; sends nothing
+//	err = nm.Submit(intentB)
+//	plan, err := nm.PlanStore()    // dry run of the union of all goals
+//	splan, err := nm.Reconcile()   // reconcile the network to the union
+//	err = nm.Withdraw("intent-a")  // unregister; next Reconcile prunes
+//
+// Reconcile compiles every registered intent, merges the desired
+// configuration per device — pipes and switch rules are deduplicated by
+// content and refcounted across goals — and diffs the union against
+// observed state in a single sweep. Components shared between goals
+// (two VPNs crossing the same transit switches) are configured once and
+// survive until their last owner is withdrawn; withdrawing one goal
+// removes exactly its unshared components. Reconcile is idempotent:
+// reconciling again immediately sends zero commands. See
+// examples/multi-intent and `conman submit|reconcile|withdraw`.
+//
 // # Concurrency
 //
 // The NM fans work out across devices: DiscoverAll and Plan's state
@@ -138,6 +159,11 @@ type (
 	Intent = nm.Intent
 	// Plan is the reconciliation diff computed by NM.Plan.
 	Plan = nm.Plan
+	// StorePlan is the store-wide reconciliation diff computed by
+	// NM.PlanStore over every registered intent.
+	StorePlan = nm.StorePlan
+	// IntentView is one intent's slice of a StorePlan.
+	IntentView = nm.IntentView
 	// Goal is a high-level connectivity goal.
 	Goal = nm.Goal
 	// Path is a protocol-sane module-level path.
@@ -153,6 +179,10 @@ type (
 // Testbed is a fully built simulated environment (network, devices,
 // management channel, NM).
 type Testbed = experiments.Testbed
+
+// SharedPair is one customer pair of a shared-core testbed, with its
+// ready-made connectivity goal (customer edge ports pinned).
+type SharedPair = experiments.SharedPair
 
 // NewNM creates a network manager.
 func NewNM() *NM { return nm.New() }
@@ -173,6 +203,15 @@ func BuildFig4() (*Testbed, error) { return experiments.BuildFig4() }
 
 // BuildFig9 constructs the paper's Fig 9 switched (VLAN) testbed.
 func BuildFig9() (*Testbed, error) { return experiments.BuildFig9() }
+
+// BuildDiamondShared constructs the shared-core diamond testbed of the
+// multi-intent scenarios: k customer pairs on two edge switches, two
+// equivalent transit switches, one VLAN tunnel domain. Every pair's VPN
+// crosses the same managed devices, which is exactly the workload the
+// NM's intent store (Submit / Withdraw / Reconcile) exists for.
+func BuildDiamondShared(k int) (*Testbed, []SharedPair, error) {
+	return experiments.BuildDiamondShared(k)
+}
 
 // Fig4Goal returns the §III-C site-to-site connectivity goal.
 func Fig4Goal() Goal { return experiments.Fig4Goal() }

@@ -1,0 +1,76 @@
+package conman_test
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// mdLinkRE matches the target of an inline Markdown link: [text](target).
+var mdLinkRE = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// skippedMarkdown lists Markdown files excluded from the link check:
+// retrieved source material whose links point into repositories that
+// were never vendored here.
+var skippedMarkdown = map[string]bool{
+	"PAPERS.md":   true,
+	"SNIPPETS.md": true,
+}
+
+// TestMarkdownLinks walks every Markdown file in the repository and
+// verifies that each relative link resolves to a file or directory that
+// exists. External (http/https/mailto) links and in-page anchors are
+// not checked; anchors on relative links are stripped before resolving.
+// This is the CI docs gate: a renamed example directory or a moved doc
+// breaks the build, not the reader.
+func TestMarkdownLinks(t *testing.T) {
+	var mdFiles []string
+	err := filepath.WalkDir(".", func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" || d.Name() == "testdata" {
+				return fs.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".md") && !skippedMarkdown[filepath.ToSlash(path)] {
+			mdFiles = append(mdFiles, path)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mdFiles) == 0 {
+		t.Fatal("no markdown files found")
+	}
+	checked := 0
+	for _, f := range mdFiles {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range mdLinkRE.FindAllStringSubmatch(string(data), -1) {
+			target := m[1]
+			switch {
+			case strings.HasPrefix(target, "http://"),
+				strings.HasPrefix(target, "https://"),
+				strings.HasPrefix(target, "mailto:"),
+				strings.HasPrefix(target, "#"):
+				continue
+			}
+			target = strings.SplitN(target, "#", 2)[0]
+			resolved := filepath.Join(filepath.Dir(f), filepath.FromSlash(target))
+			if _, err := os.Stat(resolved); err != nil {
+				t.Errorf("%s: broken link %q -> %s", f, m[1], resolved)
+			}
+			checked++
+		}
+	}
+	t.Logf("checked %d relative links across %d markdown files", checked, len(mdFiles))
+}

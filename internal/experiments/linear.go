@@ -40,11 +40,12 @@ func linkSubnet(k int) (left, right netip.Prefix) {
 	return pfx(fmt.Sprintf("10.%d.%d.1/24", hi, lo)), pfx(fmt.Sprintf("10.%d.%d.2/24", hi, lo))
 }
 
-// newLinearBase creates the shared parts of a linear-n testbed: netsim,
-// management channel, NM, customer routers D and E at the ends. A nil
-// factory selects the in-process Hub; passing one (e.g. UDP sockets)
-// runs the management plane over that transport instead.
-func newLinearBase(factory EndpointFactory) (*Testbed, error) {
+// newBareBase creates the transport-and-manager core of a testbed:
+// netsim, management channel, NM. A nil factory selects the in-process
+// Hub; passing one (e.g. UDP sockets) runs the management plane over
+// that transport instead. Customers, devices and domain knowledge are
+// the caller's business.
+func newBareBase(factory EndpointFactory) (*Testbed, error) {
 	tb := &Testbed{
 		Net: netsim.New(), NM: nm.New(),
 		Devices:  make(map[core.DeviceID]*device.Device),
@@ -62,6 +63,18 @@ func newLinearBase(factory EndpointFactory) (*Testbed, error) {
 		return nil, err
 	}
 	tb.NM.AttachChannel(nmEP)
+	return tb, nil
+}
+
+// newLinearBase creates the shared parts of a linear-n testbed: netsim,
+// management channel, NM, customer routers D and E at the ends. A nil
+// factory selects the in-process Hub; passing one (e.g. UDP sockets)
+// runs the management plane over that transport instead.
+func newLinearBase(factory EndpointFactory) (*Testbed, error) {
+	tb, err := newBareBase(factory)
+	if err != nil {
+		return nil, err
+	}
 	d, err := customerRouter(tb.Net, "D", pfx("192.168.0.1/24"), pfx("10.0.1.1/24"), ip("192.168.0.2"))
 	if err != nil {
 		return nil, err

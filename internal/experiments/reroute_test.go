@@ -4,100 +4,8 @@ import (
 	"testing"
 
 	"conman/internal/core"
-	"conman/internal/device"
-	"conman/internal/kernel"
-	"conman/internal/modules"
-	"conman/internal/netsim"
 	"conman/internal/nm"
 )
-
-// buildDiamondVLAN constructs a switched diamond: customer D - edge
-// switch A - transit {B1 | B2} - edge switch C - customer E, one VLAN
-// tunnel. Two equivalent L2 paths exist; deterministic enumeration
-// order picks the B1 path first (its module ids sort lower).
-func buildDiamondVLAN() (*Testbed, error) {
-	tb, err := newLinearBase(nil)
-	if err != nil {
-		return nil, err
-	}
-	// L2 endpoints share one subnet (as in the Fig 9 / linear VLAN
-	// scenarios).
-	resetCustomerL2(tb.Customer["D"], pfx("192.168.5.1/24"), ip("192.168.5.2"), pfx("10.0.2.0/24"))
-	resetCustomerL2(tb.Customer["E"], pfx("192.168.5.2/24"), ip("192.168.5.1"), pfx("10.0.1.0/24"))
-	tb.NM.SetGateway("S1-gateway", "192.168.5.1")
-	tb.NM.SetGateway("S2-gateway", "192.168.5.2")
-
-	mkSwitch := func(id core.DeviceID, ethID, vlanID core.ModuleID, custPort string, trunkPorts ...string) error {
-		ports := append([]string{}, trunkPorts...)
-		if custPort != "" {
-			ports = append([]string{custPort}, ports...)
-		}
-		dev, err := device.New(tb.Net, id, kernel.RoleSwitch, ports...)
-		if err != nil {
-			return err
-		}
-		tb.Devices[id] = dev
-		eth := modules.NewETH(dev.MA, ethID, true, ports...)
-		if custPort != "" {
-			dev.MarkExternal(custPort)
-			eth.RegisterPhysical(dev.MA, custPort)
-		} else {
-			eth.RegisterPhysical(dev.MA)
-		}
-		dev.AddModule(eth)
-		dev.AddModule(modules.NewVLAN(dev.MA, vlanID, 22, "C1", 1504))
-		return nil
-	}
-	if err := mkSwitch("A", "a", "d", "cust", "toB1", "toB2"); err != nil {
-		return nil, err
-	}
-	if err := mkSwitch("B1", "m1", "v1", "", "left", "right"); err != nil {
-		return nil, err
-	}
-	if err := mkSwitch("B2", "m2", "v2", "", "left", "right"); err != nil {
-		return nil, err
-	}
-	if err := mkSwitch("C", "c", "f", "cust", "toB1", "toB2"); err != nil {
-		return nil, err
-	}
-
-	for _, l := range []struct {
-		name string
-		a, b netsim.PortID
-	}{
-		{"D-A", netsim.PortID{Device: "D", Name: "eth0"}, netsim.PortID{Device: "A", Name: "cust"}},
-		{"A-B1", netsim.PortID{Device: "A", Name: "toB1"}, netsim.PortID{Device: "B1", Name: "left"}},
-		{"A-B2", netsim.PortID{Device: "A", Name: "toB2"}, netsim.PortID{Device: "B2", Name: "left"}},
-		{"B1-C", netsim.PortID{Device: "B1", Name: "right"}, netsim.PortID{Device: "C", Name: "toB1"}},
-		{"B2-C", netsim.PortID{Device: "B2", Name: "right"}, netsim.PortID{Device: "C", Name: "toB2"}},
-		{"C-E", netsim.PortID{Device: "C", Name: "cust"}, netsim.PortID{Device: "E", Name: "eth0"}},
-	} {
-		if err := connect(tb.Net, l.name, l.a, l.b); err != nil {
-			return nil, err
-		}
-	}
-	if err := tb.startAll(); err != nil {
-		return nil, err
-	}
-	return tb, nil
-}
-
-func diamondIntent() nm.Intent {
-	return nm.Intent{
-		Name: "diamond-vpn",
-		Goal: nm.Goal{
-			From:          core.Ref(core.NameETH, "A", "a"),
-			To:            core.Ref(core.NameETH, "C", "c"),
-			FromDomain:    "C1-S1",
-			ToDomain:      "C1-S2",
-			FromGateway:   "S1-gateway",
-			ToGateway:     "S2-gateway",
-			TrafficDomain: "C1",
-			TagClassified: true,
-		},
-		Prefer: "VLAN tunnel",
-	}
-}
 
 // deviceConfigured reports whether the device has any NM-created pipes
 // or switch rules.
@@ -136,11 +44,11 @@ func pathDevices(p *nm.Path) map[core.DeviceID]bool {
 // churned), AND prunes every component the old path left on B1 —
 // because the NM remembers which devices the intent touched.
 func TestReroutePrunesStrandedDevice(t *testing.T) {
-	tb, err := buildDiamondVLAN()
+	tb, pairs, err := BuildDiamondShared(1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	intent := diamondIntent()
+	intent := pairs[0].Intent("VLAN tunnel")
 	plan, err := tb.NM.Plan(intent)
 	if err != nil {
 		t.Fatal(err)
@@ -151,7 +59,7 @@ func TestReroutePrunesStrandedDevice(t *testing.T) {
 	if err := tb.NM.Apply(plan); err != nil {
 		t.Fatal(err)
 	}
-	if err := tb.VerifyConnectivity(95000); err != nil {
+	if err := tb.VerifyPair(pairs[0], 95000); err != nil {
 		t.Fatalf("via B1: %v", err)
 	}
 
@@ -185,7 +93,7 @@ func TestReroutePrunesStrandedDevice(t *testing.T) {
 	if err := tb.NM.Apply(replan); err != nil {
 		t.Fatal(err)
 	}
-	if err := tb.VerifyConnectivity(95100); err != nil {
+	if err := tb.VerifyPair(pairs[0], 95100); err != nil {
 		t.Fatalf("via B2: %v", err)
 	}
 	if deviceConfigured(t, tb, "B1") {

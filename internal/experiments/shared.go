@@ -1,0 +1,300 @@
+package experiments
+
+// Shared-core scenarios for the NM's intent store: several customer
+// pairs whose VPNs cross the same transit devices. These are the
+// workloads the single-intent Plan/Apply cycle could not express —
+// applying one goal used to prune the components of every other goal on
+// shared devices — and the regression tests in shared_test.go pin the
+// store semantics: Reconcile configures shared pipes and switch rules
+// once, refcounts them across goals, and withdrawing one goal removes
+// exactly its unshared components.
+
+import (
+	"fmt"
+	"net/netip"
+
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+	"conman/internal/modules"
+	"conman/internal/netsim"
+	"conman/internal/nm"
+)
+
+// SharedPair is one customer pair of a shared-core testbed: customer
+// routers D and E attached to dedicated edge ports, with the pair's
+// addressing and its ready-made connectivity goal.
+type SharedPair struct {
+	// Index is the pair's 1-based number.
+	Index int
+	// D and E are the pair's customer routers.
+	D, E core.DeviceID
+	// SrcIP and DstIP are the pair's site addresses used for probes.
+	SrcIP, DstIP netip.Addr
+	// Goal is the pair's connectivity goal, with FromPipe/ToPipe pinned
+	// to the pair's customer ports on the shared edge devices.
+	Goal nm.Goal
+}
+
+// Intent wraps the pair's goal as a named store intent ("vpn-c<index>").
+func (p SharedPair) Intent(prefer string) nm.Intent {
+	return nm.Intent{Name: fmt.Sprintf("vpn-c%d", p.Index), Goal: p.Goal, Prefer: prefer}
+}
+
+// pairNets returns the addressing of pair j: the shared L2 uplink
+// subnet's two ends and the two site LANs.
+func pairNets(j int) (uplinkD, uplinkE netip.Prefix, lanD, lanE netip.Prefix) {
+	return pfx(fmt.Sprintf("192.168.%d.1/24", 4+j)),
+		pfx(fmt.Sprintf("192.168.%d.2/24", 4+j)),
+		pfx(fmt.Sprintf("10.%d.1.1/24", 10+j)),
+		pfx(fmt.Sprintf("10.%d.2.1/24", 10+j))
+}
+
+// addL2CustomerPair creates customer routers D<j>/E<j> for one pair of
+// a switched (shared-subnet) testbed, registers the pair's domains and
+// gateways with the NM, and returns the pair descriptor. The caller
+// wires the routers to the edge ports named in the returned goal.
+func addL2CustomerPair(tb *Testbed, j int, fromMod, toMod core.ModuleRef, portA, portC string) (SharedPair, error) {
+	uplinkD, uplinkE, lanD, lanE := pairNets(j)
+	dID := core.DeviceID(fmt.Sprintf("D%d", j))
+	eID := core.DeviceID(fmt.Sprintf("E%d", j))
+	d, err := customerRouter(tb.Net, dID, uplinkD, lanD, uplinkE.Addr())
+	if err != nil {
+		return SharedPair{}, err
+	}
+	e, err := customerRouter(tb.Net, eID, uplinkE, lanE, uplinkD.Addr())
+	if err != nil {
+		return SharedPair{}, err
+	}
+	// L2 endpoints share one subnet: replace the default route with
+	// site-specific routes via the peer router.
+	resetCustomerL2(d, uplinkD, uplinkE.Addr(), lanE.Masked())
+	resetCustomerL2(e, uplinkE, uplinkD.Addr(), lanD.Masked())
+	tb.Customer[dID], tb.Customer[eID] = d, e
+
+	s1, s2 := fmt.Sprintf("C%d-S1", j), fmt.Sprintf("C%d-S2", j)
+	gw1, gw2 := fmt.Sprintf("C%d-S1-gateway", j), fmt.Sprintf("C%d-S2-gateway", j)
+	tb.NM.SetDomain(s1, lanD.Masked().String())
+	tb.NM.SetDomain(s2, lanE.Masked().String())
+	tb.NM.SetGateway(gw1, uplinkD.Addr().String())
+	tb.NM.SetGateway(gw2, uplinkE.Addr().String())
+
+	return SharedPair{
+		Index: j, D: dID, E: eID,
+		SrcIP: lanD.Addr(), DstIP: lanE.Addr(),
+		Goal: nm.Goal{
+			From: fromMod, To: toMod,
+			FromPipe: modules.PhysPipeID(portA), ToPipe: modules.PhysPipeID(portC),
+			FromDomain: s1, ToDomain: s2,
+			FromGateway: gw1, ToGateway: gw2,
+			TrafficDomain: fmt.Sprintf("C%d", j),
+			TagClassified: true,
+		},
+	}, nil
+}
+
+// mkVLANSwitch creates one managed L2 switch with an ETH module across
+// all ports (the given customer ports marked external) and a VLAN
+// module (VID 22).
+func mkVLANSwitch(tb *Testbed, id core.DeviceID, ethID, vlanID core.ModuleID, custPorts, trunkPorts []string) error {
+	ports := append(append([]string{}, custPorts...), trunkPorts...)
+	dev, err := device.New(tb.Net, id, kernel.RoleSwitch, ports...)
+	if err != nil {
+		return err
+	}
+	tb.Devices[id] = dev
+	eth := modules.NewETH(dev.MA, ethID, true, ports...)
+	for _, p := range custPorts {
+		dev.MarkExternal(p)
+	}
+	eth.RegisterPhysical(dev.MA, custPorts...)
+	dev.AddModule(eth)
+	dev.AddModule(modules.NewVLAN(dev.MA, vlanID, 22, "C1", 1504))
+	return nil
+}
+
+// BuildDiamondShared constructs the shared-core diamond of the
+// multi-intent scenarios: k customer pairs on edge switches A and C,
+// two equivalent transit switches B1 and B2 (deterministic enumeration
+// prefers B1), one VLAN tunnel domain. Pair j's VPN crosses the same
+// edge and transit switches as every other pair's, so their
+// configurations overlap on every managed device:
+//
+//	D1 --cust1--\                    /--cust1-- E1
+//	             A ==== B1 ==== C
+//	D2 --cust2--/  \\              //  \--cust2-- E2
+//	                ==== B2 ====
+//
+// (A-B1/B1-C carry the tunnel; A-B2/B2-C are the standby diamond arm.)
+func BuildDiamondShared(k int) (*Testbed, []SharedPair, error) {
+	if k < 1 {
+		return nil, nil, fmt.Errorf("experiments: diamond needs k >= 1 pairs, got %d", k)
+	}
+	tb, err := newBareBase(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	custPorts := make([]string, k)
+	for j := 1; j <= k; j++ {
+		custPorts[j-1] = fmt.Sprintf("cust%d", j)
+	}
+	if err := mkVLANSwitch(tb, "A", "a", "d", custPorts, []string{"toB1", "toB2"}); err != nil {
+		return nil, nil, err
+	}
+	if err := mkVLANSwitch(tb, "B1", "m1", "v1", nil, []string{"left", "right"}); err != nil {
+		return nil, nil, err
+	}
+	if err := mkVLANSwitch(tb, "B2", "m2", "v2", nil, []string{"left", "right"}); err != nil {
+		return nil, nil, err
+	}
+	if err := mkVLANSwitch(tb, "C", "c", "f", custPorts, []string{"toB1", "toB2"}); err != nil {
+		return nil, nil, err
+	}
+	for _, l := range []struct {
+		name string
+		a, b netsim.PortID
+	}{
+		{"A-B1", netsim.PortID{Device: "A", Name: "toB1"}, netsim.PortID{Device: "B1", Name: "left"}},
+		{"A-B2", netsim.PortID{Device: "A", Name: "toB2"}, netsim.PortID{Device: "B2", Name: "left"}},
+		{"B1-C", netsim.PortID{Device: "B1", Name: "right"}, netsim.PortID{Device: "C", Name: "toB1"}},
+		{"B2-C", netsim.PortID{Device: "B2", Name: "right"}, netsim.PortID{Device: "C", Name: "toB2"}},
+	} {
+		if err := connect(tb.Net, l.name, l.a, l.b); err != nil {
+			return nil, nil, err
+		}
+	}
+	fromMod := core.Ref(core.NameETH, "A", "a")
+	toMod := core.Ref(core.NameETH, "C", "c")
+	pairs := make([]SharedPair, 0, k)
+	for j := 1; j <= k; j++ {
+		port := fmt.Sprintf("cust%d", j)
+		p, err := addL2CustomerPair(tb, j, fromMod, toMod, port, port)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := connect(tb.Net, fmt.Sprintf("D%d-A", j),
+			netsim.PortID{Device: p.D, Name: "eth0"},
+			netsim.PortID{Device: "A", Name: port}); err != nil {
+			return nil, nil, err
+		}
+		if err := connect(tb.Net, fmt.Sprintf("C-E%d", j),
+			netsim.PortID{Device: "C", Name: port},
+			netsim.PortID{Device: p.E, Name: "eth0"}); err != nil {
+			return nil, nil, err
+		}
+		pairs = append(pairs, p)
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, nil, err
+	}
+	return tb, pairs, nil
+}
+
+// BuildLinearVLANShared builds a linear chain of n L2 switches carrying
+// k concurrent customer pairs: every pair's VLAN tunnel traverses the
+// same n-switch core, so all transit configuration is shared k ways and
+// only the customer-port classification at the edges is per-pair.
+func BuildLinearVLANShared(n, k int) (*Testbed, []SharedPair, error) {
+	if n < 2 {
+		return nil, nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
+	}
+	if k < 1 {
+		return nil, nil, fmt.Errorf("experiments: shared chain needs k >= 1 pairs, got %d", k)
+	}
+	tb, err := newBareBase(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	custPorts := make([]string, k)
+	for j := 1; j <= k; j++ {
+		custPorts[j-1] = fmt.Sprintf("cust%d", j)
+	}
+	for i := 1; i <= n; i++ {
+		var cust, trunks []string
+		switch i {
+		case 1:
+			cust, trunks = custPorts, []string{chainRight}
+		case n:
+			cust, trunks = custPorts, []string{chainLeft}
+		default:
+			trunks = []string{chainLeft, chainRight}
+		}
+		if err := mkVLANSwitch(tb, rid(i), "eth", "vlan", cust, trunks); err != nil {
+			return nil, nil, err
+		}
+	}
+	for i := 1; i < n; i++ {
+		if err := connect(tb.Net, fmt.Sprintf("R%d-R%d", i, i+1),
+			netsim.PortID{Device: rid(i), Name: chainRight},
+			netsim.PortID{Device: rid(i + 1), Name: chainLeft}); err != nil {
+			return nil, nil, err
+		}
+	}
+	fromMod := core.Ref(core.NameETH, rid(1), "eth")
+	toMod := core.Ref(core.NameETH, rid(n), "eth")
+	pairs := make([]SharedPair, 0, k)
+	for j := 1; j <= k; j++ {
+		port := fmt.Sprintf("cust%d", j)
+		p, err := addL2CustomerPair(tb, j, fromMod, toMod, port, port)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := connect(tb.Net, fmt.Sprintf("D%d-R1", j),
+			netsim.PortID{Device: p.D, Name: "eth0"},
+			netsim.PortID{Device: rid(1), Name: port}); err != nil {
+			return nil, nil, err
+		}
+		if err := connect(tb.Net, fmt.Sprintf("Rn-E%d", j),
+			netsim.PortID{Device: rid(n), Name: port},
+			netsim.PortID{Device: p.E, Name: "eth0"}); err != nil {
+			return nil, nil, err
+		}
+		pairs = append(pairs, p)
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, nil, err
+	}
+	return tb, pairs, nil
+}
+
+// VerifyPair injects probe traffic between one customer pair's sites
+// and reports whether both directions deliver; it also confirms that
+// traffic to a prefix outside the pair's VPN does not leak through.
+func (tb *Testbed) VerifyPair(p SharedPair, token uint32) error {
+	d, e := tb.Customer[p.D], tb.Customer[p.E]
+	if d == nil || e == nil {
+		return fmt.Errorf("experiments: pair %d has no customer routers", p.Index)
+	}
+	if err := d.SendProbeFrom(p.SrcIP, p.DstIP, token); err != nil {
+		return err
+	}
+	tb.Net.Flush()
+	found := false
+	for _, tok := range e.ProbeEchoes() {
+		if tok == token {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("experiments: pair %d probe %d did not reach site S2", p.Index, token)
+	}
+	replied := false
+	for _, tok := range d.ProbeReplies() {
+		if tok == token {
+			replied = true
+		}
+	}
+	if !replied {
+		return fmt.Errorf("experiments: pair %d probe %d reply did not return", p.Index, token)
+	}
+	if err := d.SendProbeFrom(p.SrcIP, ip("8.8.8.8"), token+1); err != nil {
+		return err
+	}
+	tb.Net.Flush()
+	for _, tok := range e.ProbeEchoes() {
+		if tok == token+1 {
+			return fmt.Errorf("experiments: pair %d traffic to a foreign prefix leaked", p.Index)
+		}
+	}
+	return nil
+}

@@ -5,7 +5,6 @@
 package experiments
 
 import (
-	"fmt"
 	"net/netip"
 
 	"conman/internal/channel"
@@ -246,40 +245,14 @@ func Fig4Goal() nm.Goal {
 // VerifyConnectivity injects probe traffic between the customer sites and
 // reports whether both directions deliver (§"Data-plane verification" in
 // DESIGN.md). It also confirms isolation: traffic to an unconfigured
-// prefix must not leak.
+// prefix must not leak. It probes the canonical D/E customer pair of the
+// paper testbeds; shared-core testbeds verify each of their pairs via
+// VerifyPair.
 func (tb *Testbed) VerifyConnectivity(token uint32) error {
-	d, e := tb.Customer["D"], tb.Customer["E"]
-	if err := d.SendProbeFrom(ip("10.0.1.1"), ip("10.0.2.1"), token); err != nil {
-		return err
-	}
-	found := false
-	for _, tok := range e.ProbeEchoes() {
-		if tok == token {
-			found = true
-		}
-	}
-	if !found {
-		return fmt.Errorf("experiments: probe %d did not reach site S2", token)
-	}
-	replied := false
-	for _, tok := range d.ProbeReplies() {
-		if tok == token {
-			replied = true
-		}
-	}
-	if !replied {
-		return fmt.Errorf("experiments: probe %d reply did not return to site S1", token)
-	}
-	// Isolation: a destination outside the VPN must not be delivered.
-	if err := d.SendProbeFrom(ip("10.0.1.1"), ip("8.8.8.8"), token+1); err != nil {
-		return err
-	}
-	for _, tok := range e.ProbeEchoes() {
-		if tok == token+1 {
-			return fmt.Errorf("experiments: traffic to a foreign prefix leaked into the VPN")
-		}
-	}
-	return nil
+	return tb.VerifyPair(SharedPair{
+		Index: 1, D: "D", E: "E",
+		SrcIP: ip("10.0.1.1"), DstIP: ip("10.0.2.1"),
+	}, token)
 }
 
 // BuildFig9 constructs the VLAN tunneling topology of Fig 9: three

@@ -22,6 +22,12 @@ type Goal struct {
 	// TagClassified marks the customer-side classification on L2
 	// endpoints ("Tagged" in Fig 9b).
 	TagClassified bool
+	// FromPipe/ToPipe optionally pin the external physical pipes the
+	// path must enter and leave through ("Phy-<port>"). Edge modules
+	// with a single customer-facing port can leave them empty; on a
+	// multi-tenant edge (several customer ports behind one module) they
+	// select which customer attachment this goal serves.
+	FromPipe, ToPipe core.PipeID
 }
 
 // DefaultTradeoffs are the paper's choices for the GRE pipe: in-order
@@ -142,7 +148,7 @@ func (n *NM) Compile(path *Path, goal Goal) ([]DeviceScript, error) {
 			Satisfy: cp.deps,
 		}
 		ds.Items = append(ds.Items, msg.CommandItem{Pipe: &msg.CreatePipeItem{ID: cp.id, Req: req}})
-		ds.Rendered = append(ds.Rendered, renderPipe(cp))
+		ds.Rendered = append(ds.Rendered, renderPipeCreate(cp.id, req))
 	}
 
 	for i := range path.Hops {
@@ -177,17 +183,17 @@ func (n *NM) Compile(path *Path, goal Goal) ([]DeviceScript, error) {
 					Match: &core.Classifier{Kind: "tagged", Value: ""},
 				}
 				ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: rule}})
-				ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s, Tagged => %s])", hop.Node.Ref, entryRef, exitRef))
+				ds.Rendered = append(ds.Rendered, renderSwitchCreate(rule))
 				rev := core.SwitchRule{Module: hop.Node.Ref, From: exitRef, To: entryRef}
 				ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: rev}})
-				ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s => %s])", hop.Node.Ref, exitRef, entryRef))
+				ds.Rendered = append(ds.Rendered, renderSwitchCreate(rev))
 			}
 		default:
 			rule := core.SwitchRule{
 				Module: hop.Node.Ref, From: entryRef, To: exitRef, Bidirectional: true,
 			}
 			ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: rule}})
-			ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, %s, %s)", hop.Node.Ref, entryRef, exitRef))
+			ds.Rendered = append(ds.Rendered, renderSwitchCreate(rule))
 		}
 	}
 	return out, nil
@@ -246,7 +252,7 @@ func (n *NM) emitClassified(ds *DeviceScript, module core.ModuleRef, customerPip
 	ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{
 		Rule: in, MatchResolved: dstPrefix,
 	}})
-	ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s, dst:%s => %s])", module, customerPipe, dstDomain, insidePipe))
+	ds.Rendered = append(ds.Rendered, renderSwitchCreate(in))
 
 	outRule := core.SwitchRule{
 		Module: module, From: insidePipe, To: customerPipe, Via: gwToken,
@@ -254,27 +260,49 @@ func (n *NM) emitClassified(ds *DeviceScript, module core.ModuleRef, customerPip
 	ds.Items = append(ds.Items, msg.CommandItem{Switch: &msg.CreateSwitchReq{
 		Rule: outRule, ViaResolved: gwAddr,
 	}})
-	ds.Rendered = append(ds.Rendered, fmt.Sprintf("create (switch, %s, [%s => %s, %s])", module, insidePipe, customerPipe, gwToken))
+	ds.Rendered = append(ds.Rendered, renderSwitchCreate(outRule))
 }
 
-func renderPipe(cp *compiledPipe) string {
+// renderPipeCreate renders one create (pipe, ...) command as the
+// figures print it: upper and lower modules, the two remote peers, then
+// the dependency choices ("None" where absent).
+func renderPipeCreate(id core.PipeID, req core.PipeRequest) string {
 	up, low := "None", "None"
-	if !cp.upperPeer.IsZero() {
-		up = cp.upperPeer.String()
+	if !req.UpperPeer.IsZero() {
+		up = req.UpperPeer.String()
 	}
-	if !cp.lowerPeer.IsZero() {
-		low = cp.lowerPeer.String()
+	if !req.LowerPeer.IsZero() {
+		low = req.LowerPeer.String()
 	}
 	extra := "None"
-	if len(cp.deps) > 0 {
+	if len(req.Satisfy) > 0 {
 		var parts []string
-		for _, d := range cp.deps {
+		for _, d := range req.Satisfy {
 			parts = append(parts, "trade-off: "+tradeoffGetName(d.Tradeoff))
 		}
 		extra = strings.Join(parts, ", ")
 	}
 	return fmt.Sprintf("%s = create (pipe, %s, %s, %s, %s, %s)",
-		cp.id, cp.upper.Ref, cp.lower.Ref, up, low, extra)
+		id, req.Upper, req.Lower, up, low, extra)
+}
+
+// renderSwitchCreate renders one create (switch, ...) command in the
+// form the figures use for the rule's shape: bidirectional rules in the
+// bare three-argument form, classified and via-directed rules in the
+// bracketed [from => to] forms.
+func renderSwitchCreate(r core.SwitchRule) string {
+	switch {
+	case r.Bidirectional:
+		return fmt.Sprintf("create (switch, %s, %s, %s)", r.Module, r.From, r.To)
+	case r.Match != nil && r.Match.Kind == "tagged":
+		return fmt.Sprintf("create (switch, %s, [%s, Tagged => %s])", r.Module, r.From, r.To)
+	case r.Match != nil:
+		return fmt.Sprintf("create (switch, %s, [%s, dst:%s => %s])", r.Module, r.From, r.Match.Value, r.To)
+	case r.Via != "":
+		return fmt.Sprintf("create (switch, %s, [%s => %s, %s])", r.Module, r.From, r.To, r.Via)
+	default:
+		return fmt.Sprintf("create (switch, %s, [%s => %s])", r.Module, r.From, r.To)
+	}
 }
 
 // tradeoffGetName extracts the "get" metric names from a trade-off key

@@ -15,6 +15,7 @@ type Node struct {
 	Domain string // address domain, for IP modules (§III-C pruning)
 }
 
+// String renders the node as its module reference.
 func (n *Node) String() string { return n.Ref.String() }
 
 // PhysAttachment is one physical pipe of an (ETH) module with its

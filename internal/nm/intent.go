@@ -107,6 +107,8 @@ func (n *NM) compileIntent(intent Intent) (*Path, []DeviceScript, error) {
 		From:          intent.Goal.From,
 		To:            intent.Goal.To,
 		TrafficDomain: intent.Goal.TrafficDomain,
+		FromPipe:      intent.Goal.FromPipe,
+		ToPipe:        intent.Goal.ToPipe,
 		MaxPaths:      intent.MaxPaths,
 	})
 	if err != nil {

@@ -6,6 +6,26 @@
 // primitives (Figs 7b/8b/9b) and executes them, relaying module-to-module
 // messages (conveyMessage / listFieldsAndValues) since modules can only
 // talk to the NM.
+//
+// # The intent store
+//
+// The NM's public surface is declarative, in two tiers. The per-intent
+// tier is Plan / Apply / Destroy: one Intent (a named connectivity Goal)
+// is compiled, diffed against observed device state, and reconciled.
+// The store tier implements the paper's "NM holds all the goals" model
+// (§III): Submit and Withdraw register and remove goals in the intent
+// store, and Reconcile compiles the union of every registered intent,
+// deduplicates the desired pipes and switch rules by content with
+// per-intent ownership (refcounting), observes every relevant device
+// once, and sends create/delete batches that only remove components no
+// registered intent wants. Goals whose paths cross the same transit
+// devices therefore coexist — their shared components are configured
+// once and survive until the last owner is withdrawn — and withdrawing
+// one goal removes exactly its unshared components. PlanStore is the
+// dry-run form of Reconcile; NM.Plan remains the per-intent dry-run
+// view. Pipe identity in the store is structural (endpoint modules,
+// remote peers, dependency choices), so reconciliation adopts the wire
+// ids of matching installed pipes instead of churning them.
 package nm
 
 import (
@@ -110,10 +130,16 @@ type NM struct {
 	gateways map[string]string
 
 	// intentDevs remembers, per applied intent name, the devices its
-	// configuration touched, so a later Plan can prune state from
-	// devices a re-chosen path no longer traverses (reroute after
-	// failure).
+	// configuration touched, so a later Plan or Reconcile can prune
+	// state from devices a re-chosen path no longer traverses (reroute
+	// after failure) or that only a withdrawn intent occupied.
 	intentDevs map[string]map[core.DeviceID]bool
+
+	// store holds the registered goals of the intent store
+	// (Submit/Withdraw) by intent name; storeOrder keeps submission
+	// order so Reconcile compiles and renders deterministically.
+	store      map[string]Intent
+	storeOrder []string
 
 	notifies []msg.Notify
 	triggers []msg.Trigger
@@ -151,6 +177,7 @@ func New() *NM {
 		domains:     make(map[string]string),
 		gateways:    make(map[string]string),
 		intentDevs:  make(map[string]map[core.DeviceID]bool),
+		store:       make(map[string]Intent),
 		CallTimeout: 5 * time.Second,
 	}
 }

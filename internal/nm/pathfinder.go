@@ -169,6 +169,12 @@ type FindSpec struct {
 	// TrafficDomain is the address domain of the customer traffic the
 	// path must carry (e.g. "C1").
 	TrafficDomain string
+	// FromPipe/ToPipe optionally pin the external physical pipes the
+	// path must enter and leave through ("Phy-<port>"). Zero values keep
+	// the default: enter on the From module's first external pipe, leave
+	// on any external pipe of To. Pinning matters on multi-tenant edges
+	// where one module fronts several customer ports.
+	FromPipe, ToPipe core.PipeID
 	// MaxPaths bounds the search (0 = DefaultMaxPaths).
 	MaxPaths int
 	// MaxDepth bounds path length in hops. Zero derives the bound from
@@ -220,13 +226,17 @@ func (g *Graph) FindPaths(spec FindSpec) ([]*Path, PruneStats, error) {
 	if _, ok := g.Node(spec.To); !ok {
 		return nil, PruneStats{}, fmt.Errorf("nm: unknown module %s", spec.To)
 	}
-	hasExternal := false
+	var entryPipe core.PipeID
 	for _, pa := range g.Phys(from) {
-		if pa.External {
-			hasExternal = true
+		if pa.External && (spec.FromPipe == "" || pa.Pipe == spec.FromPipe) {
+			entryPipe = pa.Pipe
+			break
 		}
 	}
-	if !hasExternal {
+	if entryPipe == "" {
+		if spec.FromPipe != "" {
+			return nil, PruneStats{}, fmt.Errorf("nm: %s has no external physical pipe %s", spec.From, spec.FromPipe)
+		}
 		return nil, PruneStats{}, fmt.Errorf("nm: %s has no external physical pipe", spec.From)
 	}
 	f := &finder{
@@ -250,13 +260,6 @@ func (g *Graph) FindPaths(spec FindSpec) ([]*Path, PruneStats, error) {
 		{Protocol: core.NameIPv4, Domain: spec.TrafficDomain, External: true},
 	}
 	f.stack = []int{0, 1}
-	var entryPipe core.PipeID
-	for _, pa := range g.Phys(from) {
-		if pa.External {
-			entryPipe = pa.Pipe
-			break
-		}
-	}
 	f.visit(from, core.EndPhy, nil, entryPipe)
 	// Deterministic result order: by length, module sequence, then mode
 	// sequence (paths can share modules but differ in switching modes).
@@ -455,6 +458,9 @@ func (f *finder) explore(node *Node, mode core.SwitchMode) {
 // header pushed inside the network has been popped.
 func (f *finder) maybeAccept(node *Node) {
 	if node.Ref != f.spec.To {
+		return
+	}
+	if f.spec.ToPipe != "" && f.hops[len(f.hops)-1].ExitPhys != f.spec.ToPipe {
 		return
 	}
 	if len(f.stack) != 2 {

@@ -1,0 +1,604 @@
+package nm
+
+// The intent store: the NM holds the full set of high-level goals and
+// derives device configuration from their union (the paper's "NM holds
+// all the goals" model, §III). Submit and Withdraw register and remove
+// goals; Reconcile compiles every registered intent, merges the desired
+// configuration per device with ownership tracking, diffs the union
+// against observed state once, and sends create/delete batches that only
+// remove components *no* registered intent wants. Intents sharing
+// transit devices therefore coexist, and withdrawing one goal removes
+// exactly its unshared components. NM.Plan remains available as the
+// per-intent dry-run view of the same machinery.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"conman/internal/core"
+	"conman/internal/msg"
+)
+
+// Submit registers an intent (a named connectivity goal) in the NM's
+// intent store, replacing any registered intent of the same name in
+// place. Submitting sends nothing: the store only changes desired
+// state, and the next Reconcile moves the network toward it.
+func (n *NM) Submit(intent Intent) error {
+	if intent.Name == "" {
+		return fmt.Errorf("nm: submit: intent needs a name")
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.store[intent.Name]; !ok {
+		n.storeOrder = append(n.storeOrder, intent.Name)
+	}
+	n.store[intent.Name] = intent
+	return nil
+}
+
+// Withdraw removes the named intent from the store. Its configuration
+// stays on the devices until the next Reconcile, which prunes exactly
+// the components no remaining intent wants (shared pipes and switch
+// rules survive as long as another goal still needs them).
+func (n *NM) Withdraw(name string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.store[name]; !ok {
+		return fmt.Errorf("nm: withdraw: no intent %q registered", name)
+	}
+	delete(n.store, name)
+	for i, s := range n.storeOrder {
+		if s == name {
+			n.storeOrder = append(n.storeOrder[:i], n.storeOrder[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Registered returns the store's intents in submission order.
+func (n *NM) Registered() []Intent {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]Intent, 0, len(n.storeOrder))
+	for _, name := range n.storeOrder {
+		out = append(out, n.store[name])
+	}
+	return out
+}
+
+// IntentView is one intent's slice of a StorePlan: the path chosen for
+// it, the devices its desired configuration occupies, and how much of
+// that configuration it shares with other registered intents.
+type IntentView struct {
+	// Intent is the registered goal this view describes.
+	Intent Intent
+	// Path is the module-level path the store compiled for the intent.
+	Path *Path
+	// Devices lists the devices the intent's configuration occupies.
+	Devices []core.DeviceID
+	// Exclusive counts desired components only this intent wants;
+	// withdrawing the intent removes exactly these.
+	Exclusive int
+	// Shared counts desired components at least one other registered
+	// intent wants too; these survive the intent's withdrawal.
+	Shared int
+}
+
+// StorePlan is the store-wide reconciliation diff: the union of every
+// registered intent's desired configuration, compared against observed
+// device state in a single sweep. Like a Plan it is inert — computing
+// it sends no configuration commands — and it doubles as the dry-run
+// rendering of what Reconcile would do.
+type StorePlan struct {
+	// Views holds the per-intent breakdown, in submission order.
+	Views []IntentView
+	// Deletes are per-device batches removing components no registered
+	// intent wants (switch rules before the pipes they reference).
+	Deletes []DeviceScript
+	// Creates are per-device batches creating missing components, in
+	// first-appearance compiler order across the intents.
+	Creates []DeviceScript
+	// InPlace counts desired components already configured.
+	InPlace int
+	// Shared counts distinct desired components wanted by more than one
+	// intent (the store's refcounted overlap).
+	Shared int
+
+	// records is the per-intent device occupancy a successful
+	// ApplyStore commits to the NM's memory.
+	records map[string][]core.DeviceID
+}
+
+// Empty reports whether applying the store plan would send no commands.
+func (p *StorePlan) Empty() bool { return len(p.Deletes) == 0 && len(p.Creates) == 0 }
+
+// Render prints the store plan dry-run style: every intent's chosen
+// path, every command Reconcile would send (shared components annotated
+// with their owning intents), and a summary line.
+func (p *StorePlan) Render() string {
+	var b strings.Builder
+	noun := "intents"
+	if len(p.Views) == 1 {
+		noun = "intent"
+	}
+	fmt.Fprintf(&b, "store plan (%d %s)\n", len(p.Views), noun)
+	for _, v := range p.Views {
+		fmt.Fprintf(&b, "  intent %q", v.Intent.Name)
+		if v.Path != nil {
+			fmt.Fprintf(&b, " — path %s: %s", v.Path.Describe(), v.Path.Modules())
+		}
+		fmt.Fprintf(&b, " (%d exclusive, %d shared components)\n", v.Exclusive, v.Shared)
+	}
+	for _, ds := range p.Deletes {
+		for _, line := range ds.Rendered {
+			fmt.Fprintf(&b, "  %s: %s\n", ds.Device, line)
+		}
+	}
+	for _, ds := range p.Creates {
+		for _, line := range ds.Rendered {
+			fmt.Fprintf(&b, "  %s: %s\n", ds.Device, line)
+		}
+	}
+	creates, deletes := 0, 0
+	for _, ds := range p.Creates {
+		creates += len(ds.Items)
+	}
+	for _, ds := range p.Deletes {
+		deletes += len(ds.Items)
+	}
+	if p.Empty() {
+		fmt.Fprintf(&b, "  no changes (%d components in place, %d shared)\n", p.InPlace, p.Shared)
+	} else {
+		fmt.Fprintf(&b, "  %d to create, %d to delete, %d in place, %d shared\n", creates, deletes, p.InPlace, p.Shared)
+	}
+	return b.String()
+}
+
+// unionPipe is one desired pipe in the union of all registered intents.
+// Its identity is its content — endpoint modules, remote peers and
+// dependency choices — not a compiled pipe id: intents compiled in
+// isolation number their pipes independently, so the store matches
+// pipes structurally and assigns wire ids afterwards (adopting the id
+// of a matching observed pipe, or allocating a fresh one).
+type unionPipe struct {
+	req    core.PipeRequest
+	owners []string
+	// id is the resolved wire id: the observed pipe's id when the pipe
+	// is already in place, a freshly allocated one otherwise.
+	id      core.PipeID
+	inPlace bool
+}
+
+// unionRule is one desired switch rule in the union. From/To referring
+// to NM-created pipes are tracked through the unionPipe they resolve
+// against (fromPipe/toPipe non-nil); physical pipe references stay
+// literal.
+type unionRule struct {
+	rule             core.SwitchRule
+	fromPipe, toPipe *unionPipe
+	matchResolved    string
+	viaResolved      string
+	owners           []string
+	kept             bool
+}
+
+// resolved returns the rule with From/To rewritten to the final wire
+// ids of the union pipes it references.
+func (r *unionRule) resolved() core.SwitchRule {
+	rr := r.rule
+	if r.fromPipe != nil {
+		rr.From = r.fromPipe.id
+	}
+	if r.toPipe != nil {
+		rr.To = r.toPipe.id
+	}
+	return rr
+}
+
+// unionItem keeps the per-device first-appearance order of desired
+// components, so create batches read like a from-scratch script.
+// Exactly one field is set.
+type unionItem struct {
+	pipe  *unionPipe
+	rule  *unionRule
+	other *unionOther
+}
+
+// unionOther is a non-diffed desired item (filters and future command
+// kinds); it always executes, attributed to the intent that wants it.
+type unionOther struct {
+	item     msg.CommandItem
+	rendered string
+	owner    string
+}
+
+// deviceUnion is the merged desired configuration of one device across
+// every registered intent, with ownership per component.
+type deviceUnion struct {
+	dev   core.DeviceID
+	items []unionItem
+	pipes map[string]*unionPipe
+	rules map[string]*unionRule
+}
+
+// pipeKey is the canonical content identity of a desired pipe.
+func pipeKey(req core.PipeRequest) string {
+	var b strings.Builder
+	b.WriteString(req.Upper.String())
+	b.WriteByte('|')
+	b.WriteString(req.Lower.String())
+	b.WriteByte('|')
+	b.WriteString(req.UpperPeer.String())
+	b.WriteByte('|')
+	b.WriteString(req.LowerPeer.String())
+	for _, d := range req.Satisfy {
+		b.WriteByte('|')
+		b.WriteString(d.Token + "/" + d.Tradeoff + "/" + d.Value + "/" + d.Provider)
+	}
+	return b.String()
+}
+
+// ruleUnionKey is the canonical identity of a desired switch rule, with
+// pipe references lifted into content space so two intents' rules over
+// the same (structurally identical) pipes unify.
+func ruleUnionKey(r *msg.CreateSwitchReq, fp, tp *unionPipe) string {
+	from, to := string(r.Rule.From), string(r.Rule.To)
+	if fp != nil {
+		from = "pipe:" + pipeKey(fp.req)
+	}
+	if tp != nil {
+		to = "pipe:" + pipeKey(tp.req)
+	}
+	return r.Rule.Module.String() + "|" + from + "|" + to + "|" +
+		classifierKey(r.Rule.Match) + "|" + r.Rule.Via + "|" +
+		fmt.Sprint(r.Rule.Bidirectional) + "|" + r.MatchResolved + "|" + r.ViaResolved
+}
+
+// addOwner appends an intent name once.
+func addOwner(owners []string, name string) []string {
+	for _, o := range owners {
+		if o == name {
+			return owners
+		}
+	}
+	return append(owners, name)
+}
+
+// mergeScripts folds one intent's compiled device scripts into the
+// per-device unions, recording ownership (refcounting) per component.
+func mergeScripts(unions map[core.DeviceID]*deviceUnion, order *[]core.DeviceID, name string, scripts []DeviceScript) {
+	for _, ds := range scripts {
+		du := unions[ds.Device]
+		if du == nil {
+			du = &deviceUnion{
+				dev:   ds.Device,
+				pipes: make(map[string]*unionPipe),
+				rules: make(map[string]*unionRule),
+			}
+			unions[ds.Device] = du
+			*order = append(*order, ds.Device)
+		}
+		// local maps this intent's compile-time pipe ids (device-scoped
+		// P0, P1, ...) to their union pipes.
+		local := make(map[core.PipeID]*unionPipe)
+		for i, item := range ds.Items {
+			switch {
+			case item.Pipe != nil:
+				key := pipeKey(item.Pipe.Req)
+				up := du.pipes[key]
+				if up == nil {
+					up = &unionPipe{req: item.Pipe.Req}
+					du.pipes[key] = up
+					du.items = append(du.items, unionItem{pipe: up})
+				}
+				up.owners = addOwner(up.owners, name)
+				local[item.Pipe.ID] = up
+			case item.Switch != nil:
+				fp, tp := local[item.Switch.Rule.From], local[item.Switch.Rule.To]
+				key := ruleUnionKey(item.Switch, fp, tp)
+				ur := du.rules[key]
+				if ur == nil {
+					ur = &unionRule{
+						rule: item.Switch.Rule, fromPipe: fp, toPipe: tp,
+						matchResolved: item.Switch.MatchResolved,
+						viaResolved:   item.Switch.ViaResolved,
+					}
+					du.rules[key] = ur
+					du.items = append(du.items, unionItem{rule: ur})
+				}
+				ur.owners = addOwner(ur.owners, name)
+			default:
+				du.items = append(du.items, unionItem{other: &unionOther{
+					item: item, rendered: ds.Rendered[i], owner: name,
+				}})
+			}
+		}
+	}
+}
+
+// ownersSuffix annotates a rendered create line with the owning intents
+// when a component is shared.
+func ownersSuffix(owners []string) string {
+	if len(owners) < 2 {
+		return ""
+	}
+	return "  [shared: " + strings.Join(owners, ", ") + "]"
+}
+
+// diff reconciles one device's union against its observed state,
+// appending delete/create batches to the plan. Pipes are matched by
+// content (adopting observed wire ids so surviving configuration is
+// untouched); anything observed that no desired component claims is
+// stale and deleted, rules before pipes.
+func (du *deviceUnion) diff(o *observed, plan *StorePlan) {
+	// Pipe pass 1: bind desired pipes to observed ones by content.
+	claimed := make(map[core.PipeID]bool)
+	obsIDs := make([]core.PipeID, 0, len(o.pipes))
+	for id := range o.pipes {
+		obsIDs = append(obsIDs, id)
+	}
+	sort.Slice(obsIDs, func(i, j int) bool { return obsIDs[i] < obsIDs[j] })
+	for _, it := range du.items {
+		if it.pipe == nil {
+			continue
+		}
+		for _, id := range obsIDs {
+			if claimed[id] {
+				continue
+			}
+			if o.pipes[id].matches(it.pipe.req) {
+				it.pipe.id, it.pipe.inPlace, claimed[id] = id, true, true
+				plan.InPlace++
+				break
+			}
+		}
+	}
+	// Pipe pass 2: allocate fresh wire ids for missing pipes, avoiding
+	// every id observed on the device (stale pipes are deleted in the
+	// same reconcile, but their ids are not reused within it).
+	used := make(map[core.PipeID]bool, len(obsIDs))
+	for _, id := range obsIDs {
+		used[id] = true
+	}
+	next := 0
+	for _, it := range du.items {
+		if it.pipe == nil || it.pipe.inPlace {
+			continue
+		}
+		for {
+			cand := core.PipeID(fmt.Sprintf("P%d", next))
+			next++
+			if !used[cand] {
+				it.pipe.id = cand
+				used[cand] = true
+				break
+			}
+		}
+	}
+	// Rule pass: a desired rule is kept iff an identical installed rule
+	// exists and every NM-created pipe it references is in place (a rule
+	// on a freshly created pipe resolves to a fresh id no installed rule
+	// can match).
+	for _, it := range du.items {
+		if it.rule == nil {
+			continue
+		}
+		if (it.rule.fromPipe != nil && !it.rule.fromPipe.inPlace) ||
+			(it.rule.toPipe != nil && !it.rule.toPipe.inPlace) {
+			continue
+		}
+		rr := it.rule.resolved()
+		for j := range o.rules {
+			or := &o.rules[j]
+			if or.used || or.module != rr.Module || or.from != rr.From || or.to != rr.To {
+				continue
+			}
+			if or.match != classifierKey(rr.Match) || or.via != rr.Via {
+				continue
+			}
+			or.used = true
+			it.rule.kept = true
+			plan.InPlace++
+			break
+		}
+	}
+	// Stale observed state: rules no desired component kept, then pipes
+	// no desired component claimed.
+	del := DeviceScript{Device: du.dev}
+	for j := range o.rules {
+		or := &o.rules[j]
+		if or.used {
+			continue
+		}
+		di, rendered := deleteItem(core.DeleteRequest{
+			Kind: core.ComponentSwitchRule, Module: or.module, ID: or.id,
+		})
+		del.Items = append(del.Items, di)
+		del.Rendered = append(del.Rendered, rendered)
+	}
+	for _, id := range obsIDs {
+		if claimed[id] || o.pipes[id].lower.IsZero() {
+			continue
+		}
+		di, rendered := deleteItem(core.DeleteRequest{
+			Kind: core.ComponentPipe, Module: o.pipes[id].lower, ID: string(id),
+		})
+		del.Items = append(del.Items, di)
+		del.Rendered = append(del.Rendered, rendered)
+	}
+	if len(del.Items) > 0 {
+		plan.Deletes = append(plan.Deletes, del)
+	}
+	// Creates, in first-appearance order across the intents.
+	creates := DeviceScript{Device: du.dev}
+	for _, it := range du.items {
+		switch {
+		case it.pipe != nil && !it.pipe.inPlace:
+			creates.Items = append(creates.Items, msg.CommandItem{
+				Pipe: &msg.CreatePipeItem{ID: it.pipe.id, Req: it.pipe.req},
+			})
+			creates.Rendered = append(creates.Rendered,
+				renderPipeCreate(it.pipe.id, it.pipe.req)+ownersSuffix(it.pipe.owners))
+		case it.rule != nil && !it.rule.kept:
+			rr := it.rule.resolved()
+			creates.Items = append(creates.Items, msg.CommandItem{
+				Switch: &msg.CreateSwitchReq{
+					Rule:          rr,
+					MatchResolved: it.rule.matchResolved,
+					ViaResolved:   it.rule.viaResolved,
+				},
+			})
+			creates.Rendered = append(creates.Rendered,
+				renderSwitchCreate(rr)+ownersSuffix(it.rule.owners))
+		case it.other != nil:
+			creates.Items = append(creates.Items, it.other.item)
+			creates.Rendered = append(creates.Rendered, it.other.rendered)
+		}
+	}
+	if len(creates.Items) > 0 {
+		plan.Creates = append(plan.Creates, creates)
+	}
+}
+
+// recordedDevices returns devices some previously applied intent
+// (registered or since withdrawn) touched but no current desired script
+// occupies, in sorted order. Everything observed on them is stale.
+func (n *NM) recordedDevices(current []core.DeviceID) []core.DeviceID {
+	cur := make(map[core.DeviceID]bool, len(current))
+	for _, d := range current {
+		cur[d] = true
+	}
+	n.mu.Lock()
+	seen := make(map[core.DeviceID]bool)
+	var out []core.DeviceID
+	for _, devs := range n.intentDevs {
+		for d := range devs {
+			if !cur[d] && !seen[d] {
+				seen[d] = true
+				out = append(out, d)
+			}
+		}
+	}
+	n.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// PlanStore computes the store-wide reconciliation diff: it compiles
+// every registered intent, merges the desired configuration per device
+// (deduplicating pipes and switch rules by content, with ownership
+// refcounts), observes every relevant device once — including devices
+// only a withdrawn or rerouted intent occupied — and diffs the union
+// against reality. Planning sends no configuration commands.
+func (n *NM) PlanStore() (*StorePlan, error) {
+	intents := n.Registered()
+	plan := &StorePlan{records: make(map[string][]core.DeviceID, len(intents))}
+	unions := make(map[core.DeviceID]*deviceUnion)
+	var order []core.DeviceID
+	for _, intent := range intents {
+		path, scripts, err := n.compileIntent(intent)
+		if err != nil {
+			return nil, fmt.Errorf("nm: reconcile: %w", err)
+		}
+		devs := scriptDevices(scripts)
+		plan.Views = append(plan.Views, IntentView{Intent: intent, Path: path, Devices: devs})
+		plan.records[intent.Name] = devs
+		mergeScripts(unions, &order, intent.Name, scripts)
+	}
+	stranded := n.recordedDevices(order)
+	obs, err := n.observe(append(append([]core.DeviceID(nil), order...), stranded...))
+	if err != nil {
+		return nil, err
+	}
+	// Devices no registered intent occupies any more: everything on
+	// them is stale.
+	for _, dev := range stranded {
+		if del := pruneAll(dev, obs[dev]); len(del.Items) > 0 {
+			plan.Deletes = append(plan.Deletes, del)
+		}
+	}
+	for _, dev := range order {
+		unions[dev].diff(obs[dev], plan)
+	}
+	// Sharing accounting, per intent and store-wide.
+	viewOf := make(map[string]*IntentView, len(plan.Views))
+	for i := range plan.Views {
+		viewOf[plan.Views[i].Intent.Name] = &plan.Views[i]
+	}
+	tally := func(owners []string) {
+		if len(owners) > 1 {
+			plan.Shared++
+		}
+		for _, o := range owners {
+			if v := viewOf[o]; v != nil {
+				if len(owners) > 1 {
+					v.Shared++
+				} else {
+					v.Exclusive++
+				}
+			}
+		}
+	}
+	for _, dev := range order {
+		for _, it := range unions[dev].items {
+			switch {
+			case it.pipe != nil:
+				tally(it.pipe.owners)
+			case it.rule != nil:
+				tally(it.rule.owners)
+			case it.other != nil:
+				tally([]string{it.other.owner})
+			}
+		}
+	}
+	return plan, nil
+}
+
+// ApplyStore executes a store plan through the wave executor — stale
+// components deleted first, missing ones created — and commits the
+// per-intent device records the plan computed, replacing the NM's
+// previous occupancy memory (withdrawn intents' records drop out here,
+// after their components were pruned).
+func (n *NM) ApplyStore(plan *StorePlan) error {
+	if len(plan.Deletes) > 0 {
+		if err := n.Execute(plan.Deletes); err != nil {
+			return fmt.Errorf("nm: reconcile (teardown phase): %w", err)
+		}
+	}
+	if len(plan.Creates) > 0 {
+		if err := n.Execute(plan.Creates); err != nil {
+			return fmt.Errorf("nm: reconcile: %w", err)
+		}
+	}
+	n.mu.Lock()
+	n.intentDevs = make(map[string]map[core.DeviceID]bool, len(plan.records))
+	for name, devs := range plan.records {
+		set := make(map[core.DeviceID]bool, len(devs))
+		for _, d := range devs {
+			set[d] = true
+		}
+		n.intentDevs[name] = set
+	}
+	n.mu.Unlock()
+	return nil
+}
+
+// Reconcile moves the network to the union of all registered intents:
+// PlanStore followed by ApplyStore, returning the plan that was
+// executed. Reconcile treats the store as the complete desired state —
+// components no registered intent wants are pruned, and components two
+// goals share are configured once and survive until the last owner is
+// withdrawn. Reconcile is idempotent: immediately reconciling again
+// sends zero commands.
+func (n *NM) Reconcile() (*StorePlan, error) {
+	plan, err := n.PlanStore()
+	if err != nil {
+		return nil, err
+	}
+	if err := n.ApplyStore(plan); err != nil {
+		return plan, err
+	}
+	return plan, nil
+}

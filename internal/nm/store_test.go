@@ -1,0 +1,165 @@
+package nm
+
+import (
+	"strings"
+	"testing"
+
+	"conman/internal/core"
+	"conman/internal/msg"
+)
+
+func TestSubmitWithdrawBookkeeping(t *testing.T) {
+	n := New()
+	if err := n.Submit(Intent{}); err == nil {
+		t.Error("submit accepted an unnamed intent")
+	}
+	a := Intent{Name: "a", Prefer: "GRE-IP tunnel"}
+	b := Intent{Name: "b"}
+	for _, in := range []Intent{a, b} {
+		if err := n.Submit(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Resubmitting replaces in place, keeping submission order.
+	a2 := Intent{Name: "a", Prefer: "MPLS"}
+	if err := n.Submit(a2); err != nil {
+		t.Fatal(err)
+	}
+	got := n.Registered()
+	if len(got) != 2 || got[0].Name != "a" || got[1].Name != "b" {
+		t.Fatalf("registered = %+v, want [a b]", got)
+	}
+	if got[0].Prefer != "MPLS" {
+		t.Errorf("resubmit did not replace: prefer = %q", got[0].Prefer)
+	}
+	if err := n.Withdraw("nope"); err == nil {
+		t.Error("withdraw of an unregistered intent did not error")
+	}
+	if err := n.Withdraw("a"); err != nil {
+		t.Fatal(err)
+	}
+	got = n.Registered()
+	if len(got) != 1 || got[0].Name != "b" {
+		t.Fatalf("after withdraw, registered = %+v, want [b]", got)
+	}
+}
+
+// script builds a DeviceScript from pipe/rule specs the way the
+// compiler would emit it.
+func pipeItem(id core.PipeID, req core.PipeRequest) (msg.CommandItem, string) {
+	return msg.CommandItem{Pipe: &msg.CreatePipeItem{ID: id, Req: req}}, renderPipeCreate(id, req)
+}
+
+func ruleItem(r core.SwitchRule) (msg.CommandItem, string) {
+	return msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: r}}, renderSwitchCreate(r)
+}
+
+func appendItems(ds *DeviceScript, items ...func() (msg.CommandItem, string)) {
+	for _, f := range items {
+		it, rendered := f()
+		ds.Items = append(ds.Items, it)
+		ds.Rendered = append(ds.Rendered, rendered)
+	}
+}
+
+// TestUnionMergeDedupesSharedComponents drives mergeScripts + diff
+// directly: two intents compile the same transit pipe and rule on one
+// device (each numbering the pipe P0 in isolation), plus one exclusive
+// rule each. The union must configure the shared pair once, refcount it
+// with both owners, and keep the exclusive rules separate.
+func TestUnionMergeDedupesSharedComponents(t *testing.T) {
+	dev := core.DeviceID("X")
+	eth := core.Ref(core.NameETH, dev, "e")
+	vlan := core.Ref(core.NameVLAN, dev, "v")
+	req := core.PipeRequest{Upper: eth, Lower: vlan, LowerPeer: core.Ref(core.NameVLAN, "Y", "v")}
+
+	mkScript := func(custPort string) DeviceScript {
+		ds := DeviceScript{Device: dev}
+		appendItems(&ds,
+			func() (msg.CommandItem, string) { return pipeItem("P0", req) },
+			func() (msg.CommandItem, string) {
+				return ruleItem(core.SwitchRule{
+					Module: eth, From: core.PipeID("Phy-" + custPort), To: "P0",
+					Match: &core.Classifier{Kind: "tagged"},
+				})
+			},
+			func() (msg.CommandItem, string) {
+				return ruleItem(core.SwitchRule{Module: vlan, From: "P0", To: "Phy-trunk", Bidirectional: true})
+			},
+		)
+		return ds
+	}
+
+	unions := make(map[core.DeviceID]*deviceUnion)
+	var order []core.DeviceID
+	mergeScripts(unions, &order, "vpn-a", []DeviceScript{mkScript("c1")})
+	mergeScripts(unions, &order, "vpn-b", []DeviceScript{mkScript("c2")})
+
+	du := unions[dev]
+	if len(du.pipes) != 1 {
+		t.Fatalf("union holds %d pipes, want 1 (shared)", len(du.pipes))
+	}
+	if len(du.rules) != 3 {
+		t.Fatalf("union holds %d rules, want 3 (2 exclusive + 1 shared)", len(du.rules))
+	}
+	plan := &StorePlan{}
+	du.diff(&observed{pipes: map[core.PipeID]obsPipe{}}, plan)
+	if len(plan.Creates) != 1 {
+		t.Fatalf("want one create batch, got %d", len(plan.Creates))
+	}
+	if got := len(plan.Creates[0].Items); got != 4 {
+		t.Fatalf("create batch has %d items, want 4 (1 pipe + 3 rules):\n%s",
+			got, strings.Join(plan.Creates[0].Rendered, "\n"))
+	}
+	rendered := strings.Join(plan.Creates[0].Rendered, "\n")
+	if !strings.Contains(rendered, "[shared: vpn-a, vpn-b]") {
+		t.Errorf("shared components not annotated with owners:\n%s", rendered)
+	}
+}
+
+// TestDiffAdoptsObservedPipeIDs pins the content-based matching that
+// makes reconciliation stable across intent withdrawal: the desired
+// pipe was compiled as P0 but is observed installed as P7 — the diff
+// must adopt P7 (no churn), keep the installed rule referencing it, and
+// delete only the truly stale rule.
+func TestDiffAdoptsObservedPipeIDs(t *testing.T) {
+	dev := core.DeviceID("X")
+	eth := core.Ref(core.NameETH, dev, "e")
+	vlan := core.Ref(core.NameVLAN, dev, "v")
+	req := core.PipeRequest{Upper: eth, Lower: vlan, LowerPeer: core.Ref(core.NameVLAN, "Y", "v")}
+
+	ds := DeviceScript{Device: dev}
+	appendItems(&ds,
+		func() (msg.CommandItem, string) { return pipeItem("P0", req) },
+		func() (msg.CommandItem, string) {
+			return ruleItem(core.SwitchRule{Module: vlan, From: "P0", To: "Phy-trunk", Bidirectional: true})
+		},
+	)
+	unions := make(map[core.DeviceID]*deviceUnion)
+	var order []core.DeviceID
+	mergeScripts(unions, &order, "vpn-a", []DeviceScript{ds})
+
+	o := &observed{
+		pipes: map[core.PipeID]obsPipe{
+			"P7": {upper: eth, lower: vlan, lowerPeer: core.Ref(core.NameVLAN, "Y", "v")},
+		},
+		rules: []obsRule{
+			{id: "r1", module: vlan, from: "P7", to: "Phy-trunk"},
+			{id: "r2", module: vlan, from: "P7", to: "Phy-dead"},
+		},
+	}
+	plan := &StorePlan{}
+	unions[dev].diff(o, plan)
+	if len(plan.Creates) != 0 {
+		t.Errorf("in-place pipe churned:\n%s", plan.Render())
+	}
+	if plan.InPlace != 2 {
+		t.Errorf("InPlace = %d, want 2 (pipe + kept rule)", plan.InPlace)
+	}
+	if len(plan.Deletes) != 1 || len(plan.Deletes[0].Items) != 1 {
+		t.Fatalf("want exactly one stale-rule delete, got:\n%s", plan.Render())
+	}
+	if !strings.Contains(plan.Deletes[0].Rendered[0], "r2") {
+		t.Errorf("wrong rule deleted: %s", plan.Deletes[0].Rendered[0])
+	}
+}
