@@ -321,6 +321,43 @@ func BenchmarkPacketCodec(b *testing.B) {
 	})
 }
 
+// BenchmarkFindPath compares the two path-search engines on the L2
+// chains whose variant space is exponential: the legacy
+// enumerate-then-filter DFS (capped at DefaultMaxPaths) against the
+// goal-directed best-first search. The "expanded" metric is the number
+// of search states explored — the asymptotic win the best-first
+// refactor buys on the NM's hottest code path.
+func BenchmarkFindPath(b *testing.B) {
+	sc, err := experiments.LinearScenarioByName("VLAN")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, n := range []int{16, 64, 128} {
+		g, base, err := sc.FindPathSpec(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, mode := range []string{"exhaustive", "best-first"} {
+			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+				spec := base
+				spec.Exhaustive = mode == "exhaustive"
+				var stats nm.PruneStats
+				for i := 0; i < b.N; i++ {
+					p, s, err := g.FindBest(spec)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if p == nil {
+						b.Fatalf("no %q path at n=%d", sc.PathDesc, n)
+					}
+					stats = s
+				}
+				b.ReportMetric(float64(stats.Expanded), "expanded")
+			})
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Scale suite: sequential vs concurrent NM on linear-n chains
 

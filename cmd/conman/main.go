@@ -352,8 +352,11 @@ type benchResult struct {
 	N         int     `json:"n"`
 	Mode      string  `json:"mode"`
 	Seconds   float64 `json:"seconds"`
-	Sent      int     `json:"sent"`
-	Received  int     `json:"received"`
+	Sent      int     `json:"sent,omitempty"`
+	Received  int     `json:"received,omitempty"`
+	// Expanded is the number of search states the path finder explored
+	// (FindPath benchmark rows only).
+	Expanded int `json:"expanded,omitempty"`
 }
 
 // runBench measures intent apply on linear chains in both execution
@@ -410,6 +413,45 @@ func runBench(args []string) error {
 			})
 			fmt.Fprintf(os.Stderr, "LinearApply/%s n=%d %s: %v (%d sent / %d received)\n",
 				sc.Name, n, mode, best, counters.Sent(), counters.Received())
+		}
+	}
+	// Path-finder cost: legacy enumerate-then-filter vs best-first on
+	// the L2 chains whose variant space is exponential, tracked across
+	// PRs via the expanded-states metric.
+	vlan, err := experiments.LinearScenarioByName("VLAN")
+	if err != nil {
+		return err
+	}
+	for _, n := range []int{16, 64, 128} {
+		g, base, err := vlan.FindPathSpec(n)
+		if err != nil {
+			return err
+		}
+		for _, mode := range []string{"exhaustive", "best-first"} {
+			spec := base
+			spec.Exhaustive = mode == "exhaustive"
+			best := time.Duration(0)
+			var stats nm.PruneStats
+			for rep := 0; rep < 2; rep++ {
+				start := time.Now()
+				p, s, err := g.FindBest(spec)
+				if err != nil {
+					return err
+				}
+				if p == nil {
+					return fmt.Errorf("bench: no %q path at n=%d (%s)", vlan.PathDesc, n, mode)
+				}
+				if el := time.Since(start); best == 0 || el < best {
+					best = el
+				}
+				stats = s
+			}
+			results = append(results, benchResult{
+				Benchmark: "FindPath", Scenario: vlan.Name, N: n, Mode: mode,
+				Seconds: best.Seconds(), Expanded: stats.Expanded,
+			})
+			fmt.Fprintf(os.Stderr, "FindPath/%s n=%d %s: %v (%d states expanded)\n",
+				vlan.Name, n, mode, best, stats.Expanded)
 		}
 	}
 	data, err := json.MarshalIndent(results, "", "  ")

@@ -174,6 +174,15 @@ type (
 	DeviceScript = nm.DeviceScript
 	// Counters is the NM's Table VI message accounting.
 	Counters = nm.Counters
+	// FindSpec describes a path search (endpoints, traffic domain,
+	// preferred flavour, engine selection).
+	FindSpec = nm.FindSpec
+	// PruneStats counts why the path search abandoned branches and how
+	// many states it expanded.
+	PruneStats = nm.PruneStats
+	// ConflictError reports two registered intents whose rules classify
+	// the same traffic to different targets (returned by Reconcile).
+	ConflictError = nm.ConflictError
 )
 
 // Testbed is a fully built simulated environment (network, devices,
@@ -197,6 +206,12 @@ func BuildGraph(n *NM) (*Graph, error) { return nm.BuildGraph(n) }
 // SelectPath applies the paper's path selector (minimise pipes, prefer
 // fast forwarding).
 func SelectPath(paths []*Path) *Path { return nm.SelectPath(paths) }
+
+// FindBest runs the goal-directed best-first path search: the single
+// best path under the paper's selection metric (or the best of the
+// spec's preferred flavour) without materialising the variant space.
+// spec.Exhaustive reroutes through the legacy enumerator for A/B runs.
+func FindBest(g *Graph, spec FindSpec) (*Path, PruneStats, error) { return g.FindBest(spec) }
 
 // BuildFig4 constructs the paper's Fig 4 VPN testbed.
 func BuildFig4() (*Testbed, error) { return experiments.BuildFig4() }

@@ -577,6 +577,13 @@ type SwitchRuleState struct {
 	To    PipeID      `json:"to"`
 	Match *Classifier `json:"match,omitempty"`
 	Via   string      `json:"via,omitempty"`
+	// MatchResolved/ViaResolved echo the concrete values the NM resolved
+	// when the rule was installed (the prefix behind a dst-domain
+	// classifier, the address behind a gateway token). Reconciliation
+	// diffs them against a fresh resolution, so a SetDomain/SetGateway
+	// change after apply surfaces as drift instead of silently diverging.
+	MatchResolved string `json:"match_resolved,omitempty"`
+	ViaResolved   string `json:"via_resolved,omitempty"`
 }
 
 // FilterRuleState is an installed filter rule as reported by showActual.

@@ -70,6 +70,28 @@ func (sc LinearScenario) Intent(n int) nm.Intent {
 	}
 }
 
+// FindPathSpec builds the scenario's linear-n potential graph and the
+// preferred-flavour finder spec the FindPath benchmarks drive. The Go
+// benchmark (BenchmarkFindPath) and `conman bench` both use this, so
+// the BENCH_scale.json rows and the benchmark output measure the
+// identical search; callers toggle spec.Exhaustive to select the
+// engine.
+func (sc LinearScenario) FindPathSpec(n int) (*nm.Graph, nm.FindSpec, error) {
+	tb, err := sc.Build(n)
+	if err != nil {
+		return nil, nm.FindSpec{}, err
+	}
+	g, err := nm.BuildGraph(tb.NM)
+	if err != nil {
+		return nil, nm.FindSpec{}, err
+	}
+	goal := LinearGoal(n, sc.Tag)
+	return g, nm.FindSpec{
+		From: goal.From, To: goal.To, TrafficDomain: goal.TrafficDomain,
+		Prefer: sc.PathDesc,
+	}, nil
+}
+
 // PlanLinear computes the scenario's reconciliation plan on a built
 // linear-n testbed without applying it, so callers can time or inspect
 // the apply separately (dry run).

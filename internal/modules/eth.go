@@ -162,6 +162,7 @@ func (e *ETH) Actual() core.ModuleState {
 	for _, r := range e.rules {
 		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{
 			ID: r.ID, From: r.Rule.From, To: r.Rule.To, Match: r.Rule.Match, Via: r.Rule.Via,
+			MatchResolved: r.MatchResolved, ViaResolved: r.ViaResolved,
 		})
 	}
 	return st

@@ -146,7 +146,8 @@ func (g *GRE) Actual() core.ModuleState {
 	}
 	for _, r := range g.rules {
 		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{
-			ID: r.ID, From: r.Rule.From, To: r.Rule.To,
+			ID: r.ID, From: r.Rule.From, To: r.Rule.To, Match: r.Rule.Match, Via: r.Rule.Via,
+			MatchResolved: r.MatchResolved, ViaResolved: r.ViaResolved,
 		})
 	}
 	return st

@@ -179,6 +179,7 @@ func (m *IP) Actual() core.ModuleState {
 	for _, r := range m.rules {
 		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{
 			ID: r.ID, From: r.Rule.From, To: r.Rule.To, Match: r.Rule.Match, Via: r.Rule.Via,
+			MatchResolved: r.MatchResolved, ViaResolved: r.ViaResolved,
 		})
 	}
 	for _, f := range m.filters {

@@ -128,7 +128,10 @@ func (m *MPLS) Actual() core.ModuleState {
 		st.LowLevel["nhlfe-key"] = m.pushKey
 	}
 	for _, r := range m.rules {
-		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{ID: r.ID, From: r.Rule.From, To: r.Rule.To})
+		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{
+			ID: r.ID, From: r.Rule.From, To: r.Rule.To, Match: r.Rule.Match, Via: r.Rule.Via,
+			MatchResolved: r.MatchResolved, ViaResolved: r.ViaResolved,
+		})
 	}
 	return st
 }

@@ -102,7 +102,10 @@ func (v *VLAN) Actual() core.ModuleState {
 		st.Pipes = append(st.Pipes, core.PipeState{ID: id, End: end, Other: other, Peer: peer, Status: p.Status})
 	}
 	for _, r := range v.rules {
-		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{ID: r.ID, From: r.Rule.From, To: r.Rule.To})
+		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{
+			ID: r.ID, From: r.Rule.From, To: r.Rule.To, Match: r.Rule.Match, Via: r.Rule.Via,
+			MatchResolved: r.MatchResolved, ViaResolved: r.ViaResolved,
+		})
 	}
 	return st
 }

@@ -1,0 +1,649 @@
+package nm
+
+// Goal-directed best-first path search (§III-C.1: the NM "determines
+// the sequence of modules" for a goal). The exhaustive finder in
+// pathfinder.go materialises every protocol-sane variant and filters
+// afterwards; on long L2 chains that space is exponential and the
+// DefaultMaxPaths cap truncates it, making selection over the result
+// unreliable. FindBest instead keeps a priority queue of partial paths
+// ordered by the paper's selection metric — pipes instantiated, then
+// forwarding speed, then hop count — and a dominance table keyed on
+// (module, entry, open peer-group stack, flavour) so only promising
+// prefixes expand. The best path pops first, without the variant space
+// ever being built; the number of expanded states is linear in path
+// length on the chains where enumeration explodes.
+
+import (
+	"container/heap"
+	"fmt"
+	"strings"
+
+	"conman/internal/core"
+)
+
+// bfMaxExpand is the runaway safety valve on queue expansions. The
+// dominance table bounds the reachable state space far below this on
+// every real topology; hitting the valve is reported as an error.
+const bfMaxExpand = 1 << 20
+
+// DefaultMaxStack is the open-header bound applied when
+// FindSpec.MaxStack is zero: comfortably above the paper's deepest
+// stack (GRE-over-MPLS opens five) while keeping the best-first state
+// space linear in chain length.
+const DefaultMaxStack = 8
+
+// bfStack is one open protocol header on a partial path's stack, as an
+// immutable linked list shared between the partial paths that diverge
+// above it (top points down). Nodes are immutable, so the rendered
+// dominance-key signature is computed once at construction (pushes are
+// frequent; signature reads happen on every frontier insertion).
+type bfStack struct {
+	below     *bfStack
+	protocol  core.ModuleName
+	domain    string
+	external  bool
+	depth     int    // headers open including this one
+	cachedSig string // this header's rendering + everything below
+}
+
+// pushStack opens a header above s, caching the combined signature.
+func pushStack(s *bfStack, protocol core.ModuleName, domain string, external bool) *bfStack {
+	n := &bfStack{below: s, protocol: protocol, domain: domain, external: external, depth: 1}
+	if s != nil {
+		n.depth = s.depth + 1
+	}
+	var b strings.Builder
+	// %q quoting keeps the signature injective for arbitrary operator
+	// domain strings.
+	fmt.Fprintf(&b, "%s/%q", protocol, domain)
+	if external {
+		b.WriteByte('!')
+	}
+	b.WriteByte(';')
+	if s != nil {
+		b.WriteString(s.cachedSig)
+	}
+	n.cachedSig = b.String()
+	return n
+}
+
+// sig renders the open-header stack, top first, for the dominance key.
+func (s *bfStack) sig() string {
+	if s == nil {
+		return ""
+	}
+	return s.cachedSig
+}
+
+// bfFlavor accumulates the Describe()-relevant features of a partial
+// path. It is part of the dominance key so a cheap prefix of one path
+// flavour never prunes the prefix of another: FindBest must be able to
+// return the best path of the *preferred* flavour, and the features
+// below are exactly what Describe derives a flavour from.
+type bfFlavor struct {
+	hasGRE     bool
+	ipGroups   uint8 // internal IPv4 groups pushed (capped)
+	vlanGroups uint8 // VLAN groups pushed (capped)
+	vlanUsed   bool
+	plainDev   bool // a fully traversed device had no VLAN hop
+	ipOffMPLS  bool // a fully traversed device had IPv4 hops but no MPLS
+	firstMPLS  core.DeviceID
+	lastMPLS   core.DeviceID
+}
+
+func (f bfFlavor) sig() string {
+	var b strings.Builder
+	if f.hasGRE {
+		b.WriteByte('g')
+	}
+	if f.vlanUsed {
+		b.WriteByte('v')
+	}
+	if f.plainDev {
+		b.WriteByte('t')
+	}
+	if f.ipOffMPLS {
+		b.WriteByte('i')
+	}
+	// %q quoting keeps the signature injective for arbitrary device ids.
+	fmt.Fprintf(&b, "%d.%d.%q%q", f.ipGroups, f.vlanGroups, string(f.firstMPLS), string(f.lastMPLS))
+	return b.String()
+}
+
+// bfNode is one hop of a partial path on the best-first frontier. Hops
+// form a parent-linked chain; a completed path is materialised by
+// replaying the chain through the same peer-group bookkeeping the
+// exhaustive enumerator maintains, so the resulting Path is
+// structurally identical to an enumerated one.
+type bfNode struct {
+	parent *bfNode
+	node   *Node
+	mode   core.SwitchMode
+
+	entryVia   *Node       // co-located module we entered from (up/down entries)
+	entryPhys  core.PipeID // physical pipe we entered on ("" otherwise)
+	parentExit core.PipeID // the pipe the parent exited on (physical transitions)
+	finalPhys  core.PipeID // accepting external exit (accepted leaves only)
+	accepted   bool
+
+	// Score so far, in the selection metric's order.
+	depth int
+	pipes int
+	fast  bool
+
+	stack *bfStack
+	flav  bfFlavor
+	// Per-device flavour accumulators, folded into flav when the path
+	// leaves the device over a wire (or accepted).
+	devVLAN, devIPv4, devMPLS bool
+
+	// mods/modes mirror Path.Modules() / modeString incrementally; they
+	// are the deterministic tie-breaks matching the enumerator's sort.
+	mods, modes string
+	seq         int  // insertion order, the final tie-break
+	dropped     bool // superseded on its dominance frontier; skip on pop
+}
+
+// dominates reports whether a recorded arrival makes the candidate
+// redundant: no completion of the candidate can beat the best
+// completion of the recorded one under (pipes, fast, hops, module
+// sequence). Pipes and hops only grow by suffix-identical amounts from
+// a shared state, and fast only ORs in, so Pareto comparison is sound;
+// on full score ties the lexicographically smaller prefix wins, exactly
+// like the enumerator's sorted tie-break.
+func (r *bfNode) dominates(c *bfNode) bool {
+	if r.pipes > c.pipes || r.depth > c.depth || (!r.fast && c.fast) {
+		return false
+	}
+	if r.pipes < c.pipes || r.depth < c.depth || (r.fast && !c.fast) {
+		return true
+	}
+	if r.mods != c.mods {
+		return r.mods < c.mods
+	}
+	return r.modes <= c.modes
+}
+
+// bfLess is the frontier (and final-answer) ordering: the selection
+// metric, then the enumerator-parity tie-breaks, then insertion order.
+func bfLess(a, b *bfNode) bool {
+	if a.pipes != b.pipes {
+		return a.pipes < b.pipes
+	}
+	if a.fast != b.fast {
+		return a.fast
+	}
+	if a.depth != b.depth {
+		return a.depth < b.depth
+	}
+	if a.mods != b.mods {
+		return a.mods < b.mods
+	}
+	if a.modes != b.modes {
+		return a.modes < b.modes
+	}
+	return a.seq < b.seq
+}
+
+type bfHeap []*bfNode
+
+func (h bfHeap) Len() int           { return len(h) }
+func (h bfHeap) Less(i, j int) bool { return bfLess(h[i], h[j]) }
+func (h bfHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *bfHeap) Push(x any)        { *h = append(*h, x.(*bfNode)) }
+func (h *bfHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+type bfFinder struct {
+	g        *Graph
+	spec     FindSpec
+	stats    PruneStats
+	queue    bfHeap
+	seen     map[string][]*bfNode
+	seq      int
+	max      int // accepted-pop safety valve
+	maxDepth int
+	maxStack int
+	initial  *bfStack
+}
+
+// FindBest returns the single best path for the spec: the preferred
+// flavour's best when spec.Prefer is set, the paper's selection metric
+// otherwise (fewest pipes instantiated, fast forwarding on ties, then
+// hop count). By default it runs the goal-directed best-first search
+// and never materialises the variant space; spec.Exhaustive reroutes
+// through the legacy enumerate-then-filter engine for A/B comparison.
+// A nil path with a nil error means no protocol-sane path (or none of
+// the preferred flavour) exists.
+func (g *Graph) FindBest(spec FindSpec) (*Path, PruneStats, error) {
+	if spec.Exhaustive {
+		paths, stats, err := g.FindPaths(spec)
+		if err != nil {
+			return nil, stats, err
+		}
+		if spec.Prefer != "" {
+			for _, p := range paths {
+				if p.Describe() == spec.Prefer {
+					return p, stats, nil
+				}
+			}
+			return nil, stats, nil
+		}
+		return SelectPath(paths), stats, nil
+	}
+
+	from, entryPipe, err := g.resolveEndpoints(spec)
+	if err != nil {
+		return nil, PruneStats{}, err
+	}
+	f := &bfFinder{
+		g:        g,
+		spec:     spec,
+		seen:     make(map[string][]*bfNode),
+		max:      spec.MaxPaths,
+		maxDepth: spec.MaxDepth,
+		maxStack: spec.MaxStack,
+		// The customer frame arrives with an Ethernet header around an
+		// IP packet in the customer's address domain (same premise as
+		// the enumerator).
+		initial: pushStack(
+			pushStack(nil, core.NameIPv4, spec.TrafficDomain, true),
+			core.NameETH, "", true),
+	}
+	if f.max == 0 {
+		f.max = DefaultMaxPaths
+	}
+	if f.maxDepth == 0 {
+		f.maxDepth = 2 * len(g.nodes)
+	}
+	if f.maxStack == 0 {
+		f.maxStack = DefaultMaxStack
+	}
+	heap.Init(&f.queue)
+	f.enter(nil, from, core.EndPhy, nil, entryPipe, "")
+
+	// held is the best acceptable completion popped so far. It cannot
+	// be returned the moment it pops: pipes are monotone along a path
+	// but the fast bit is not (a tied-on-pipes route may gain fast
+	// forwarding deeper in), so an equal-pipes better completion can
+	// still be hiding behind an unexpanded prefix. Draining the frontier
+	// until its minimum pipe count exceeds the held completion's makes
+	// the result exact — nothing left can even tie.
+	var held *bfNode
+	var heldPath *Path
+	acceptedPops := 0
+	for f.queue.Len() > 0 {
+		if held != nil && f.queue[0].pipes > held.pipes {
+			return heldPath, f.stats, nil
+		}
+		b := heap.Pop(&f.queue).(*bfNode)
+		if b.dropped {
+			continue
+		}
+		if b.accepted {
+			p := f.materialize(b)
+			if f.spec.Prefer == "" || p.Describe() == f.spec.Prefer {
+				if held == nil || bfLess(b, held) {
+					held, heldPath = b, p
+				}
+			} else if acceptedPops++; acceptedPops >= f.max {
+				return heldPath, f.stats, nil
+			}
+			continue
+		}
+		if f.stats.Expanded++; f.stats.Expanded > bfMaxExpand {
+			return nil, f.stats, fmt.Errorf("nm: best-first search exceeded %d expansions", bfMaxExpand)
+		}
+		f.expand(b)
+	}
+	if held != nil {
+		return heldPath, f.stats, nil
+	}
+	// Completeness net: the dominance key deliberately omits the set of
+	// modules a prefix has visited, so in a topology where equal-scored
+	// arms reconverge, the surviving arm could later be blocked by the
+	// per-module visit limit while the pruned one would have completed.
+	// No built-in scenario triggers this, but FindBest is the default
+	// compile engine for arbitrary topologies — so an empty result that
+	// was not caused by an explicit valve (MaxStack prune, accepted-pop
+	// cap) is re-checked against the exhaustive enumerator before "no
+	// path" is reported. The cost is paid only on the no-path error
+	// path (including a Prefer flavour that genuinely does not exist),
+	// bounded by the enumerator's own MaxPaths cap. Known residual of
+	// the same hole: if the blocked survivor completes via a *worse*
+	// suffix instead of not at all, the returned path can be
+	// metric-suboptimal — accepted as the price of a visited-set-free
+	// dominance key (tracked in ROADMAP's finder follow-ups).
+	if f.stats.StackCap == 0 && acceptedPops < f.max {
+		exh := spec
+		exh.Exhaustive = true
+		p, estats, err := g.FindBest(exh)
+		f.stats.Expanded += estats.Expanded
+		return p, f.stats, err
+	}
+	return nil, f.stats, nil
+}
+
+// expand pushes every admissible successor of a popped partial path.
+func (f *bfFinder) expand(b *bfNode) {
+	switch b.mode.To {
+	case core.EndUp:
+		ups := f.g.Above(b.node)
+		if len(ups) == 0 {
+			f.stats.DeadEnd++
+		}
+		for _, up := range ups {
+			f.enter(b, up, core.EndDown, b.node, "", "")
+		}
+	case core.EndDown:
+		downs := f.g.Below(b.node)
+		if len(downs) == 0 {
+			f.stats.DeadEnd++
+		}
+		for _, down := range downs {
+			f.enter(b, down, core.EndUp, b.node, "", "")
+		}
+	case core.EndPhy:
+		for _, pa := range f.g.Phys(b.node) {
+			if pa.Pipe == b.entryPhys {
+				continue // never exit the pipe we entered on
+			}
+			if pa.External {
+				f.maybeAccept(b, pa.Pipe)
+			} else if pa.Peer != nil {
+				f.enter(b, pa.Peer, core.EndPhy, nil, pa.PeerPipe, pa.Pipe)
+			}
+		}
+	}
+}
+
+// enter tries every switching mode of node reachable from the given
+// entry end, pushing one child hop per admissible mode. The cycle rule
+// is the enumerator's: each module at most once per path, twice for
+// [phy => down] L2 ETH modules (Fig 9b traverses module a twice).
+func (f *bfFinder) enter(parent *bfNode, node *Node, entry core.PipeEnd, entryVia *Node, entryPhys, parentExit core.PipeID) {
+	if parent != nil && parent.depth >= f.maxDepth {
+		return
+	}
+	count := 0
+	for b := parent; b != nil; b = b.parent {
+		if b.node == node {
+			count++
+		}
+	}
+	if count >= visitLimit(node) {
+		f.stats.Visited++
+		return
+	}
+	for _, mode := range node.Abs.Switch.Modes {
+		if mode.From != entry {
+			continue
+		}
+		if child := f.makeChild(parent, node, mode, entryVia, entryPhys, parentExit); child != nil {
+			f.push(child)
+		}
+	}
+}
+
+// makeChild applies the mode's header effect and the paper's pruning
+// rules (protocol sanity, external-frame termination, Fig 6b address
+// domains) to produce the child hop, or nil when the branch is pruned.
+func (f *bfFinder) makeChild(parent *bfNode, node *Node, mode core.SwitchMode, entryVia *Node, entryPhys, parentExit core.PipeID) *bfNode {
+	stack := f.initial
+	if parent != nil {
+		stack = parent.stack
+	}
+	newStack := stack
+	switch mode.Effect() {
+	case core.EffectPop, core.EffectProcess:
+		if stack == nil {
+			f.stats.StackUnderflow++
+			return nil
+		}
+		if !f.spec.DisableSanityPruning && canon(stack.protocol) != canon(node.Ref.Name) {
+			f.stats.NameMismatch++
+			return nil
+		}
+		// The customer's own Ethernet framing may only be terminated at
+		// the goal's endpoint modules.
+		if stack.external && canon(stack.protocol) == core.NameETH &&
+			node.Ref != f.spec.From && node.Ref != f.spec.To {
+			f.stats.ExternalLeak++
+			return nil
+		}
+		// Address-domain rule (Fig 6b).
+		if !f.spec.DisableDomainPruning &&
+			canon(node.Ref.Name) == core.NameIPv4 &&
+			stack.domain != "" && node.Domain != "" && stack.domain != node.Domain {
+			f.stats.DomainMismatch++
+			return nil
+		}
+		if mode.Effect() == core.EffectPop {
+			newStack = stack.below
+		}
+	case core.EffectPush:
+		if stack != nil && stack.depth >= f.maxStack {
+			f.stats.StackCap++
+			return nil
+		}
+		newStack = pushStack(stack, node.Ref.Name, node.Domain, false)
+	}
+
+	child := &bfNode{
+		parent: parent, node: node, mode: mode,
+		entryVia: entryVia, entryPhys: entryPhys, parentExit: parentExit,
+		depth: 1, stack: newStack,
+	}
+	if parent != nil {
+		child.depth = parent.depth + 1
+		child.pipes = parent.pipes
+		if entryPhys == "" {
+			child.pipes++ // the parent exits through an up-down pipe
+		}
+		child.fast = parent.fast
+		child.flav = parent.flav
+		child.mods = parent.mods + ", " + string(node.Ref.Module)
+		child.modes = parent.modes + mode.String()
+		if entryPhys == "" {
+			child.devVLAN, child.devIPv4, child.devMPLS = parent.devVLAN, parent.devIPv4, parent.devMPLS
+		} else {
+			// Crossing a wire completes the parent's device traversal:
+			// fold its flavour accumulators and start fresh.
+			foldDevice(&child.flav, parent)
+		}
+	} else {
+		child.mods = string(node.Ref.Module)
+		child.modes = mode.String()
+	}
+	if node.Abs.Attributes["forwarding"] == "fast" {
+		child.fast = true
+	}
+	applyFlavor(child, node, mode)
+	if f.spec.Prefer != "" && !flavorViable(f.spec.Prefer, child.flav) {
+		f.stats.PreferMismatch++
+		return nil
+	}
+	return child
+}
+
+// flavorViable reports whether a partial path's flavour features can
+// still complete into the preferred Describe() string — the
+// goal-direction of the search. Only monotone features are consulted
+// (hasGRE, vlanUsed, group counts, plainDev and firstMPLS never revert
+// once set), so a false here is definitive; unrecognised preference
+// strings disable the filter rather than risk hiding the preferred
+// path, costing only extra expansions.
+func flavorViable(prefer string, fl bfFlavor) bool {
+	switch {
+	case prefer == "VLAN tunnel":
+		// One tag spanning every switch: no transparently bridged
+		// device, no second tag group.
+		return !fl.plainDev && fl.vlanGroups <= 1
+	case prefer == "VLAN tunnel (segmented)":
+		return !fl.plainDev
+	case strings.HasPrefix(prefer, "VLAN"):
+		return true
+	case prefer == "plain":
+		return !fl.hasGRE && !fl.vlanUsed && fl.ipGroups == 0 && fl.firstMPLS == ""
+	case prefer == "MPLS":
+		return !fl.hasGRE && !fl.vlanUsed && fl.ipGroups == 0
+	case strings.HasPrefix(prefer, "GRE-IP tunnel"):
+		if fl.vlanUsed {
+			return false
+		}
+		return prefer != "GRE-IP tunnel" || fl.firstMPLS == ""
+	case strings.HasPrefix(prefer, "IP-IP tunnel"):
+		if fl.vlanUsed || fl.hasGRE {
+			return false
+		}
+		return prefer != "IP-IP tunnel" || fl.firstMPLS == ""
+	default:
+		return true
+	}
+}
+
+// foldDevice folds a left device's accumulators into the flavour.
+func foldDevice(fl *bfFlavor, b *bfNode) {
+	if !b.devVLAN {
+		fl.plainDev = true
+	}
+	if b.devIPv4 && !b.devMPLS {
+		fl.ipOffMPLS = true
+	}
+}
+
+// applyFlavor records one hop's contribution to the flavour signature.
+func applyFlavor(b *bfNode, node *Node, mode core.SwitchMode) {
+	name := canon(node.Ref.Name)
+	push := mode.Effect() == core.EffectPush
+	switch name {
+	case core.NameGRE:
+		b.flav.hasGRE = true
+	case core.NameVLAN:
+		b.flav.vlanUsed = true
+		b.devVLAN = true
+		if push && b.flav.vlanGroups < 3 {
+			b.flav.vlanGroups++
+		}
+	case core.NameIPv4:
+		b.devIPv4 = true
+		if push && b.flav.ipGroups < 3 {
+			b.flav.ipGroups++
+		}
+	case core.NameMPLS:
+		b.devMPLS = true
+		if b.flav.firstMPLS == "" {
+			b.flav.firstMPLS = node.Ref.Device
+		}
+		b.flav.lastMPLS = node.Ref.Device
+	}
+}
+
+// push inserts a child into the frontier unless a recorded arrival at
+// the same dominance state makes it redundant; recorded arrivals the
+// child supersedes are dropped (skipped when they pop).
+func (f *bfFinder) push(child *bfNode) {
+	key := fmt.Sprintf("%s|%s|%q|%s|%s|%v%v%v",
+		child.node.Ref, child.mode, string(child.entryPhys),
+		child.stack.sig(), child.flav.sig(),
+		child.devVLAN, child.devIPv4, child.devMPLS)
+	recs := f.seen[key]
+	for _, r := range recs {
+		if r.dominates(child) {
+			return
+		}
+	}
+	kept := recs[:0]
+	for _, r := range recs {
+		if child.dominates(r) {
+			r.dropped = true
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	f.seen[key] = append(kept, child)
+	f.seq++
+	child.seq = f.seq
+	heap.Push(&f.queue, child)
+}
+
+// maybeAccept pushes a completed-path leaf when the hop exits the goal
+// module's external pipe with a clean header stack: the freshly pushed
+// Ethernet header directly above the customer's original IP packet.
+func (f *bfFinder) maybeAccept(b *bfNode, pipe core.PipeID) {
+	if b.node.Ref != f.spec.To {
+		return
+	}
+	if f.spec.ToPipe != "" && pipe != f.spec.ToPipe {
+		return
+	}
+	s := b.stack
+	if s == nil || s.external || canon(s.protocol) != core.NameETH {
+		return
+	}
+	if s.below == nil || !s.below.external || s.below.below != nil {
+		return
+	}
+	leaf := *b
+	leaf.accepted = true
+	leaf.finalPhys = pipe
+	f.seq++
+	leaf.seq = f.seq
+	heap.Push(&f.queue, &leaf)
+}
+
+// materialize rebuilds the full Path from an accepted leaf's hop chain,
+// replaying the enumerator's peer-group bookkeeping so the result is
+// structurally identical to an enumerated path.
+func (f *bfFinder) materialize(leaf *bfNode) *Path {
+	var chain []*bfNode
+	for b := leaf; b != nil; b = b.parent {
+		chain = append(chain, b)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	groups := []PeerGroup{
+		{Protocol: core.NameETH, External: true},
+		{Protocol: core.NameIPv4, Domain: f.spec.TrafficDomain, External: true},
+	}
+	stack := []int{0, 1}
+	hops := make([]Hop, len(chain))
+	for i, b := range chain {
+		h := Hop{Node: b.node, Mode: b.mode, EntryVia: b.entryVia, EntryPhys: b.entryPhys}
+		switch b.mode.Effect() {
+		case core.EffectPop:
+			h.Group = stack[0]
+			groups[h.Group].Members = append(groups[h.Group].Members, i)
+			groups[h.Group].Closed = true
+			stack = stack[1:]
+		case core.EffectProcess:
+			h.Group = stack[0]
+			groups[h.Group].Members = append(groups[h.Group].Members, i)
+		case core.EffectPush:
+			h.Group = len(groups)
+			groups = append(groups, PeerGroup{
+				Protocol: b.node.Ref.Name, Domain: b.node.Domain, Members: []int{i},
+			})
+			stack = append([]int{h.Group}, stack...)
+		}
+		if i+1 < len(chain) {
+			next := chain[i+1]
+			if next.entryPhys == "" {
+				h.ExitVia = next.node
+			} else {
+				h.ExitPhys = next.parentExit
+			}
+		} else {
+			h.ExitPhys = b.finalPhys
+		}
+		hops[i] = h
+	}
+	return &Path{Hops: hops, Groups: groups}
+}

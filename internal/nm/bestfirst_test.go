@@ -1,0 +1,150 @@
+package nm
+
+import (
+	"testing"
+
+	"conman/internal/core"
+)
+
+// TestFindBestMatchesSelectPath pins the engines against each other on
+// the two-router graph: the best-first result must be the exact path
+// the exhaustive enumerate-then-select pipeline picks, and the
+// Exhaustive knob must route FindBest through the legacy engine with
+// the same outcome.
+func TestFindBestMatchesSelectPath(t *testing.T) {
+	n := buildTwoRouterNM(t)
+	g, err := BuildGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FindSpec{
+		From:          core.Ref(core.NameETH, "R1", "a"),
+		To:            core.Ref(core.NameETH, "R2", "f"),
+		TrafficDomain: "C1",
+	}
+	paths, _, err := g.FindPaths(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SelectPath(paths)
+	if want == nil {
+		t.Fatal("enumerator found no path")
+	}
+	best, stats, err := g.FindBest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil {
+		t.Fatal("best-first found no path")
+	}
+	if best.Modules() != want.Modules() || modeString(best) != modeString(want) {
+		t.Fatalf("best-first picked %q [%s], enumerator %q [%s]",
+			best.Modules(), modeString(best), want.Modules(), modeString(want))
+	}
+	if stats.Expanded == 0 {
+		t.Error("best-first reported zero expanded states")
+	}
+
+	exh := spec
+	exh.Exhaustive = true
+	legacy, _, err := g.FindBest(exh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if legacy == nil || legacy.Modules() != want.Modules() {
+		t.Fatalf("Exhaustive knob picked %v, want %q", legacy, want.Modules())
+	}
+}
+
+// TestFindBestPrefer exercises flavour pinning: each Describe() string
+// present in the enumeration must be reachable through Prefer, and an
+// unknown flavour must come back nil without error.
+func TestFindBestPrefer(t *testing.T) {
+	n := buildTwoRouterNM(t)
+	g, err := BuildGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FindSpec{
+		From:          core.Ref(core.NameETH, "R1", "a"),
+		To:            core.Ref(core.NameETH, "R2", "f"),
+		TrafficDomain: "C1",
+	}
+	paths, _, err := g.FindPaths(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no paths")
+	}
+	for _, p := range paths {
+		sp := spec
+		sp.Prefer = p.Describe()
+		got, _, err := g.FindBest(sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == nil {
+			t.Fatalf("Prefer %q found no path", sp.Prefer)
+		}
+		if got.Describe() != sp.Prefer {
+			t.Fatalf("Prefer %q returned a %q path", sp.Prefer, got.Describe())
+		}
+	}
+	sp := spec
+	sp.Prefer = "carrier pigeon"
+	if got, _, err := g.FindBest(sp); err != nil || got != nil {
+		t.Fatalf("unknown flavour: got %v, %v; want nil, nil", got, err)
+	}
+}
+
+// TestFindBestEndpointErrors mirrors the enumerator's endpoint
+// validation.
+func TestFindBestEndpointErrors(t *testing.T) {
+	n := buildTwoRouterNM(t)
+	g, err := BuildGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.FindBest(FindSpec{
+		From: core.Ref(core.NameETH, "R9", "z"),
+		To:   core.Ref(core.NameETH, "R2", "f"),
+	}); err == nil {
+		t.Error("unknown From module did not error")
+	}
+	if _, _, err := g.FindBest(FindSpec{
+		From: core.Ref(core.NameETH, "R1", "b"), // internal, no external pipe
+		To:   core.Ref(core.NameETH, "R2", "f"),
+	}); err == nil {
+		t.Error("From module without an external pipe did not error")
+	}
+}
+
+// TestFindBestMaxStack pins the encapsulation bound: a MaxStack too
+// small for the only available path must yield no path (counted in
+// StackCap), not a crash or a deeper-than-allowed path.
+func TestFindBestMaxStack(t *testing.T) {
+	n := buildTwoRouterNM(t)
+	g, err := BuildGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FindSpec{
+		From:          core.Ref(core.NameETH, "R1", "a"),
+		To:            core.Ref(core.NameETH, "R2", "f"),
+		TrafficDomain: "C1",
+		// Even the plain path must re-push an Ethernet header over the
+		// customer's IP packet; a bound of one forbids every push.
+		MaxStack: 1,
+	}
+	got, stats, err := g.FindBest(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("MaxStack=1 still found %q", got.Modules())
+	}
+	if stats.StackCap == 0 {
+		t.Error("StackCap prune counter never fired")
+	}
+}

@@ -24,8 +24,14 @@ type Intent struct {
 	// tunnel", "MPLS", "VLAN tunnel"); empty selects the paper's path
 	// selector (minimise pipes, prefer fast forwarding).
 	Prefer string
-	// MaxPaths bounds the path enumeration (0 = DefaultMaxPaths).
+	// MaxPaths bounds the path search (0 = DefaultMaxPaths): the
+	// enumeration cap in Exhaustive mode, a safety valve otherwise.
 	MaxPaths int
+	// Exhaustive compiles through the legacy enumerate-then-filter
+	// finder instead of the default best-first search (A/B testing;
+	// infeasible on long L2 chains, where the enumeration cap truncates
+	// the variant space).
+	Exhaustive bool
 }
 
 // Plan is the diff between an intent's desired configuration and the
@@ -103,33 +109,24 @@ func (n *NM) compileIntent(intent Intent) (*Path, []DeviceScript, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	paths, _, err := g.FindPaths(FindSpec{
+	chosen, _, err := g.FindBest(FindSpec{
 		From:          intent.Goal.From,
 		To:            intent.Goal.To,
 		TrafficDomain: intent.Goal.TrafficDomain,
 		FromPipe:      intent.Goal.FromPipe,
 		ToPipe:        intent.Goal.ToPipe,
 		MaxPaths:      intent.MaxPaths,
+		Prefer:        intent.Prefer,
+		Exhaustive:    intent.Exhaustive,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	var chosen *Path
-	if intent.Prefer != "" {
-		for _, p := range paths {
-			if p.Describe() == intent.Prefer {
-				chosen = p
-				break
-			}
+	if chosen == nil {
+		if intent.Prefer != "" {
+			return nil, nil, fmt.Errorf("nm: intent %q: no %q path found", intent.Name, intent.Prefer)
 		}
-		if chosen == nil {
-			return nil, nil, fmt.Errorf("nm: intent %q: no %q path among %d found", intent.Name, intent.Prefer, len(paths))
-		}
-	} else {
-		chosen = SelectPath(paths)
-		if chosen == nil {
-			return nil, nil, fmt.Errorf("nm: intent %q: no path satisfies the goal", intent.Name)
-		}
+		return nil, nil, fmt.Errorf("nm: intent %q: no path satisfies the goal", intent.Name)
 	}
 	scripts, err := n.Compile(chosen, intent.Goal)
 	if err != nil {
@@ -180,7 +177,12 @@ type obsRule struct {
 	from, to core.PipeID
 	match    string
 	via      string
-	used     bool
+	// matchResolved/viaResolved are the concrete values the rule was
+	// installed with; a rule whose fresh resolution differs has drifted
+	// and must be replaced even though its abstract form still matches.
+	matchResolved string
+	viaResolved   string
+	used          bool
 }
 
 func classifierKey(c *core.Classifier) string {
@@ -223,6 +225,7 @@ func (n *NM) observe(devs []core.DeviceID) (map[core.DeviceID]*observed, error) 
 					id: r.ID, module: st.Ref,
 					from: r.From, to: r.To,
 					match: classifierKey(r.Match), via: r.Via,
+					matchResolved: r.MatchResolved, viaResolved: r.ViaResolved,
 				})
 			}
 		}
@@ -430,6 +433,12 @@ func (n *NM) Plan(intent Intent) (*Plan, error) {
 							continue
 						}
 						if or.match != classifierKey(r.Match) || or.via != r.Via {
+							continue
+						}
+						// Resolved-value drift: the NM's domain/gateway
+						// knowledge changed since install — replace.
+						if or.matchResolved != item.Switch.MatchResolved ||
+							or.viaResolved != item.Switch.ViaResolved {
 							continue
 						}
 						or.used = true

@@ -7,6 +7,14 @@
 // messages (conveyMessage / listFieldsAndValues) since modules can only
 // talk to the NM.
 //
+// Path selection is goal-directed: Graph.FindBest runs a best-first
+// search over partial paths scored by the paper's selection metric
+// (pipes instantiated, forwarding speed, hop count) with a
+// flavour-aware dominance table, returning the best — or best
+// preferred-flavour — path without materialising the variant space.
+// Graph.FindPaths remains the exhaustive enumerator (the Fig 6
+// path-counting experiments, and the Exhaustive A/B knob).
+//
 // # The intent store
 //
 // The NM's public surface is declarative, in two tiers. The per-intent

@@ -147,7 +147,9 @@ func (p *Path) Describe() string {
 	}
 }
 
-// PruneStats counts why the DFS abandoned branches (Fig 6's examples).
+// PruneStats counts why the search abandoned branches (Fig 6's
+// examples), plus how many states it expanded — the cost metric the
+// exhaustive-vs-best-first benchmark compares.
 type PruneStats struct {
 	NameMismatch   int // header/protocol mismatch ("protocol sanity")
 	DomainMismatch int // peers in different address domains (Fig 6b)
@@ -155,11 +157,19 @@ type PruneStats struct {
 	DeadEnd        int
 	StackUnderflow int
 	ExternalLeak   int // customer L2 header handled off the endpoints
+	StackCap       int // encapsulation deeper than MaxStack (best-first)
+	PreferMismatch int // prefixes that can no longer match Prefer (best-first)
+	Expanded       int // module entries explored (DFS visits / queue pops)
 }
 
 // DefaultMaxPaths is the enumeration cap applied when FindSpec.MaxPaths
-// is zero. On long L2 chains the variant space is exponential; the
-// canonical-first mode ordering keeps the selected path inside the cap.
+// is zero. For the exhaustive enumerator it bounds the materialised
+// variant space (on long L2 chains that space is exponential, and only
+// the canonical-first mode ordering keeps the canonical path inside the
+// cap — selection over the truncated set is unreliable). The best-first
+// finder does not enumerate, so for it the cap is a safety valve only:
+// the number of completed-but-unpreferred paths it will pop before
+// giving up.
 const DefaultMaxPaths = 1000
 
 // FindSpec describes what the path finder should connect.
@@ -175,13 +185,34 @@ type FindSpec struct {
 	// on any external pipe of To. Pinning matters on multi-tenant edges
 	// where one module fronts several customer ports.
 	FromPipe, ToPipe core.PipeID
-	// MaxPaths bounds the search (0 = DefaultMaxPaths).
+	// MaxPaths bounds the search (0 = DefaultMaxPaths): the enumeration
+	// cap for the exhaustive finder, the accepted-path safety valve for
+	// the best-first finder.
 	MaxPaths int
+	// Prefer pins a path flavour by its Describe() string ("GRE-IP
+	// tunnel", "MPLS", "VLAN tunnel") for FindBest. Empty selects by the
+	// paper's metric: fewest pipes, fast forwarding on ties (§III-C.1).
+	Prefer string
+	// Exhaustive makes FindBest fall back to the legacy
+	// enumerate-then-filter engine (FindPaths + selection) instead of
+	// the goal-directed best-first search — kept for A/B testing and the
+	// equivalence suite.
+	Exhaustive bool
 	// MaxDepth bounds path length in hops. Zero derives the bound from
 	// the graph: twice the node count, the upper limit the per-module
 	// visit rule already implies, so large linear topologies (n=128 and
 	// beyond) enumerate without an artificial ceiling.
 	MaxDepth int
+	// MaxStack bounds how many protocol headers a partial path may have
+	// open at once in the best-first search (0 = DefaultMaxStack). Real
+	// encapsulation stacks are shallow — the paper's deepest,
+	// GRE-over-MPLS, opens five — but an L2 chain admits unbounded
+	// re-tagging (push a fresh VLAN header at every switch), and those
+	// never-selectable deep variants are exactly what makes the search
+	// space quadratic instead of linear. The exhaustive enumerator is
+	// deliberately left unbounded for parity with the paper's Fig 6
+	// pruning rules.
+	MaxStack int
 	// DisableDomainPruning turns off the Fig 6(b) rule (for the ablation
 	// benchmark).
 	DisableDomainPruning bool
@@ -219,25 +250,9 @@ func visitLimit(n *Node) int {
 // physical pipe to spec.To's, applying the paper's two pruning rules:
 // encapsulation sanity and address-domain compatibility (§III-C.1).
 func (g *Graph) FindPaths(spec FindSpec) ([]*Path, PruneStats, error) {
-	from, ok := g.Node(spec.From)
-	if !ok {
-		return nil, PruneStats{}, fmt.Errorf("nm: unknown module %s", spec.From)
-	}
-	if _, ok := g.Node(spec.To); !ok {
-		return nil, PruneStats{}, fmt.Errorf("nm: unknown module %s", spec.To)
-	}
-	var entryPipe core.PipeID
-	for _, pa := range g.Phys(from) {
-		if pa.External && (spec.FromPipe == "" || pa.Pipe == spec.FromPipe) {
-			entryPipe = pa.Pipe
-			break
-		}
-	}
-	if entryPipe == "" {
-		if spec.FromPipe != "" {
-			return nil, PruneStats{}, fmt.Errorf("nm: %s has no external physical pipe %s", spec.From, spec.FromPipe)
-		}
-		return nil, PruneStats{}, fmt.Errorf("nm: %s has no external physical pipe", spec.From)
+	from, entryPipe, err := g.resolveEndpoints(spec)
+	if err != nil {
+		return nil, PruneStats{}, err
 	}
 	f := &finder{
 		g:        g,
@@ -274,6 +289,32 @@ func (g *Graph) FindPaths(spec FindSpec) ([]*Path, PruneStats, error) {
 		return modeString(a) < modeString(b)
 	})
 	return f.paths, f.stats, nil
+}
+
+// resolveEndpoints validates the spec's endpoint modules and resolves
+// the external physical pipe the search must enter on.
+func (g *Graph) resolveEndpoints(spec FindSpec) (*Node, core.PipeID, error) {
+	from, ok := g.Node(spec.From)
+	if !ok {
+		return nil, "", fmt.Errorf("nm: unknown module %s", spec.From)
+	}
+	if _, ok := g.Node(spec.To); !ok {
+		return nil, "", fmt.Errorf("nm: unknown module %s", spec.To)
+	}
+	var entryPipe core.PipeID
+	for _, pa := range g.Phys(from) {
+		if pa.External && (spec.FromPipe == "" || pa.Pipe == spec.FromPipe) {
+			entryPipe = pa.Pipe
+			break
+		}
+	}
+	if entryPipe == "" {
+		if spec.FromPipe != "" {
+			return nil, "", fmt.Errorf("nm: %s has no external physical pipe %s", spec.From, spec.FromPipe)
+		}
+		return nil, "", fmt.Errorf("nm: %s has no external physical pipe", spec.From)
+	}
+	return from, entryPipe, nil
 }
 
 func modeString(p *Path) string {
@@ -325,6 +366,7 @@ func (f *finder) visit(node *Node, entry core.PipeEnd, entryVia *Node, entryPhys
 	}
 	f.visited[key]++
 	defer func() { f.visited[key]-- }()
+	f.stats.Expanded++
 
 	var modes []core.SwitchMode
 	for _, mode := range node.Abs.Switch.Modes {

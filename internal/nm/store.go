@@ -256,6 +256,92 @@ func ruleUnionKey(r *msg.CreateSwitchReq, fp, tp *unionPipe) string {
 		fmt.Sprint(r.Rule.Bidirectional) + "|" + r.MatchResolved + "|" + r.ViaResolved
 }
 
+// ConflictError reports two registered intents whose desired switch
+// rules classify the same traffic at the same module but steer it to
+// different targets — a packet cannot obey both, so reconciliation
+// refuses to install either and names the colliding goals instead of
+// leaving the outcome to rule-installation order.
+type ConflictError struct {
+	// Device and Module locate the collision.
+	Device core.DeviceID
+	Module core.ModuleRef
+	// IntentA/IntentB name one owner of each colliding rule, and
+	// RuleA/RuleB are the rules as those intents compiled them.
+	IntentA, IntentB string
+	RuleA, RuleB     core.SwitchRule
+	// TargetA/TargetB describe where each rule steers the traffic in
+	// structural terms (compile-local pipe ids like P1 collide across
+	// intents, so the rendered rules alone can look identical).
+	TargetA, TargetB string
+}
+
+func (e *ConflictError) Error() string {
+	return fmt.Sprintf("nm: reconcile: conflicting switch rules on %s: intent %q wants %s (into %s), intent %q wants %s (into %s)",
+		e.Module, e.IntentA, renderSwitchCreate(e.RuleA), e.TargetA, e.IntentB, renderSwitchCreate(e.RuleB), e.TargetB)
+}
+
+// conflicts scans one device union for classified rules that agree on
+// (module, entry pipe, classifier) but disagree on where the traffic
+// goes. Pipe references are compared structurally (two intents compile
+// the same pipe under different local ids), and rules that unified into
+// one union entry are by construction conflict-free.
+func (du *deviceUnion) conflicts() error {
+	type target struct {
+		to  string
+		via string
+		it  *unionRule
+	}
+	seen := make(map[string]target)
+	ident := func(lit core.PipeID, up *unionPipe) string {
+		if up != nil {
+			return "pipe:" + pipeKey(up.req)
+		}
+		return string(lit)
+	}
+	// describe renders a rule target for the error message: the pipe's
+	// structural endpoints rather than a compile-local id.
+	describe := func(lit core.PipeID, up *unionPipe, via string) string {
+		out := string(lit)
+		if up != nil {
+			out = fmt.Sprintf("the %s~%s pipe", up.req.Upper, up.req.Lower)
+		}
+		if i := strings.IndexByte(via, '/'); i > 0 {
+			out += " via " + via[:i]
+		}
+		return out
+	}
+	for _, it := range du.items {
+		r := it.rule
+		// Only value-carrying classifiers are exclusive: dst-domain
+		// routes a prefix exactly one way, so divergent targets clash.
+		// Valueless classifiers ("Tagged") select a traffic class that
+		// L2 delivery further discriminates — the multi-tenant edge
+		// legitimately fans one trunk out to several customer ports.
+		if r == nil || r.rule.Match == nil || r.rule.Match.Value == "" {
+			continue
+		}
+		key := r.rule.Module.String() + "|" + ident(r.rule.From, r.fromPipe) + "|" +
+			classifierKey(r.rule.Match) + "|" + r.matchResolved
+		tgt := target{to: ident(r.rule.To, r.toPipe), via: r.rule.Via + "/" + r.viaResolved, it: r}
+		prev, ok := seen[key]
+		if !ok {
+			seen[key] = tgt
+			continue
+		}
+		if prev.to != tgt.to || prev.via != tgt.via {
+			return &ConflictError{
+				Device:  du.dev,
+				Module:  r.rule.Module,
+				IntentA: prev.it.owners[0], IntentB: r.owners[0],
+				RuleA: prev.it.rule, RuleB: r.rule,
+				TargetA: describe(prev.it.rule.To, prev.it.toPipe, prev.via),
+				TargetB: describe(r.rule.To, r.toPipe, tgt.via),
+			}
+		}
+	}
+	return nil
+}
+
 // addOwner appends an intent name once.
 func addOwner(owners []string, name string) []string {
 	for _, o := range owners {
@@ -398,6 +484,12 @@ func (du *deviceUnion) diff(o *observed, plan *StorePlan) {
 			if or.match != classifierKey(rr.Match) || or.via != rr.Via {
 				continue
 			}
+			// Resolved-value drift (SetDomain/SetGateway changed since
+			// install): the abstract rule matches but its concrete
+			// resolution no longer does — replace it.
+			if or.matchResolved != it.rule.matchResolved || or.viaResolved != it.rule.viaResolved {
+				continue
+			}
 			or.used = true
 			it.rule.kept = true
 			plan.InPlace++
@@ -506,6 +598,14 @@ func (n *NM) PlanStore() (*StorePlan, error) {
 		plan.Views = append(plan.Views, IntentView{Intent: intent, Path: path, Devices: devs})
 		plan.records[intent.Name] = devs
 		mergeScripts(unions, &order, intent.Name, scripts)
+	}
+	// Conflict detection before anything is observed or sent: two goals
+	// steering the same classified traffic to different places is a
+	// specification error, reported as a typed ConflictError.
+	for _, dev := range order {
+		if err := unions[dev].conflicts(); err != nil {
+			return nil, err
+		}
 	}
 	stranded := n.recordedDevices(order)
 	obs, err := n.observe(append(append([]core.DeviceID(nil), order...), stranded...))

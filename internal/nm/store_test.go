@@ -1,6 +1,7 @@
 package nm
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -161,5 +162,101 @@ func TestDiffAdoptsObservedPipeIDs(t *testing.T) {
 	}
 	if !strings.Contains(plan.Deletes[0].Rendered[0], "r2") {
 		t.Errorf("wrong rule deleted: %s", plan.Deletes[0].Rendered[0])
+	}
+}
+
+// classifiedRule forges a resolved classified switch rule item the way
+// the compiler emits customer-edge ingress rules.
+func classifiedRule(module core.ModuleRef, from, to core.PipeID, domain, resolved string) func() (msg.CommandItem, string) {
+	return func() (msg.CommandItem, string) {
+		r := core.SwitchRule{
+			Module: module, From: from, To: to,
+			Match: &core.Classifier{Kind: "dst-domain", Value: domain},
+		}
+		return msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: r, MatchResolved: resolved}},
+			renderSwitchCreate(r)
+	}
+}
+
+// TestStoreConflictDetection pins the typed conflict error: two intents
+// whose rules classify the same traffic (same module, same entry pipe,
+// same classifier) but steer it into different pipes must surface as a
+// ConflictError naming both intents — not as an order-dependent
+// installation outcome.
+func TestStoreConflictDetection(t *testing.T) {
+	dev := core.DeviceID("A")
+	ipm := core.Ref(core.NameIPv4, dev, "g")
+	gre := core.Ref(core.NameGRE, dev, "l")
+	mpls := core.Ref(core.NameMPLS, dev, "o")
+
+	// Intent a: classify C1-S2 into a pipe toward GRE. Intent b: the
+	// same classifier into a pipe toward MPLS.
+	mk := func(lower core.ModuleRef) DeviceScript {
+		ds := DeviceScript{Device: dev}
+		appendItems(&ds,
+			func() (msg.CommandItem, string) {
+				return pipeItem("P0", core.PipeRequest{Upper: ipm, Lower: lower})
+			},
+			classifiedRule(ipm, "Phy-cust", "P0", "C1-S2", "10.0.2.0/24"),
+		)
+		return ds
+	}
+	unions := make(map[core.DeviceID]*deviceUnion)
+	var order []core.DeviceID
+	mergeScripts(unions, &order, "a", []DeviceScript{mk(gre)})
+	mergeScripts(unions, &order, "b", []DeviceScript{mk(mpls)})
+
+	err := unions[dev].conflicts()
+	ce, ok := err.(*ConflictError)
+	if !ok {
+		t.Fatalf("conflicts() = %v, want *ConflictError", err)
+	}
+	if ce.IntentA != "a" || ce.IntentB != "b" {
+		t.Errorf("conflict names intents %q/%q, want a/b", ce.IntentA, ce.IntentB)
+	}
+	if ce.Module != ipm {
+		t.Errorf("conflict module = %s, want %s", ce.Module, ipm)
+	}
+	if !strings.Contains(ce.Error(), `"a"`) || !strings.Contains(ce.Error(), `"b"`) {
+		t.Errorf("error text does not name both intents: %s", ce)
+	}
+}
+
+// TestStoreConflictTolerates pins the non-conflicts: identical rules
+// unify (shared, refcounted), divergent valueless Tagged classifiers
+// coexist (the multi-tenant edge), and different classifier values are
+// independent.
+func TestStoreConflictTolerates(t *testing.T) {
+	dev := core.DeviceID("A")
+	ipm := core.Ref(core.NameIPv4, dev, "g")
+	gre := core.Ref(core.NameGRE, dev, "l")
+	eth := core.Ref(core.NameETH, dev, "a")
+
+	unions := make(map[core.DeviceID]*deviceUnion)
+	var order []core.DeviceID
+	for i, name := range []string{"a", "b"} {
+		ds := DeviceScript{Device: dev}
+		appendItems(&ds,
+			func() (msg.CommandItem, string) {
+				return pipeItem("P0", core.PipeRequest{Upper: ipm, Lower: gre})
+			},
+			// Same classifier, same structural target: shared, fine.
+			classifiedRule(ipm, "Phy-cust", "P0", "C1-S2", "10.0.2.0/24"),
+			// Different classifier values: independent, fine.
+			classifiedRule(ipm, "Phy-cust", "P0", fmt.Sprintf("C1-S%d", 3+i), fmt.Sprintf("10.0.%d.0/24", 3+i)),
+			// Valueless Tagged classifier to per-intent customer ports:
+			// the multi-tenant edge, fine.
+			func() (msg.CommandItem, string) {
+				r := core.SwitchRule{
+					Module: eth, From: "Phy-trunk", To: core.PipeID(fmt.Sprintf("Phy-cust%d", i)),
+					Match: &core.Classifier{Kind: "tagged"},
+				}
+				return msg.CommandItem{Switch: &msg.CreateSwitchReq{Rule: r}}, renderSwitchCreate(r)
+			},
+		)
+		mergeScripts(unions, &order, name, []DeviceScript{ds})
+	}
+	if err := unions[dev].conflicts(); err != nil {
+		t.Fatalf("false conflict: %v", err)
 	}
 }
