@@ -393,13 +393,15 @@ func BenchmarkLinearDiscover(b *testing.B) {
 }
 
 func BenchmarkLinearConfigure(b *testing.B) {
-	sc, err := experiments.LinearScenarioByName("GRE")
-	if err != nil {
-		b.Fatal(err)
+	for _, cfg := range experiments.BenchApplyRows() {
+		benchmarkLinearConfigure(b, cfg.Scenario, cfg.Ns)
 	}
-	for _, n := range []int{16, 64, 128} {
+}
+
+func benchmarkLinearConfigure(b *testing.B, sc experiments.LinearScenario, ns []int) {
+	for _, n := range ns {
 		for _, mode := range []string{"sequential", "concurrent"} {
-			b.Run(fmt.Sprintf("n=%d/%s", n, mode), func(b *testing.B) {
+			b.Run(fmt.Sprintf("%s/n=%d/%s", sc.Name, n, mode), func(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					// Execution mutates device state, so each iteration

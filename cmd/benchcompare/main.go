@@ -1,0 +1,129 @@
+// Command benchcompare is the CI perf-regression gate: it diffs a fresh
+// BENCH_scale.json (produced by `conman bench`) against the committed
+// BENCH_baseline.json and exits non-zero when any FindPath or
+// LinearApply (configure) row regressed past the threshold — by default
+// more than 2x wall-clock, or more than 2x in the deterministic
+// `expanded` search-state metric.
+//
+// Wall-clock comparison is skipped for rows whose baseline is below
+// -min-seconds (default 100ms): the long latency-dominated rows are
+// stable across machines, but a ~10ms row can double on a loaded
+// shared CI runner from scheduler jitter alone. The `expanded` metric
+// has no floor — it is exact and machine-independent, so any >2x
+// growth there is a real search regression. A baseline row with no
+// matching fresh row also fails: a silently dropped benchmark is a
+// coverage regression, not a pass.
+//
+// When rows change legitimately (a new scenario, a new n), refresh the
+// baseline with:
+//
+//	go run ./cmd/conman bench -out BENCH_baseline.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// row mirrors the benchResult records `conman bench` emits.
+type row struct {
+	Benchmark string  `json:"benchmark"`
+	Scenario  string  `json:"scenario"`
+	N         int     `json:"n"`
+	Mode      string  `json:"mode"`
+	Seconds   float64 `json:"seconds"`
+	Sent      int     `json:"sent,omitempty"`
+	Received  int     `json:"received,omitempty"`
+	Expanded  int     `json:"expanded,omitempty"`
+}
+
+func (r row) key() string {
+	return fmt.Sprintf("%s/%s/n=%d/%s", r.Benchmark, r.Scenario, r.N, r.Mode)
+}
+
+// compare returns human-readable report lines and the subset that are
+// failures. Baseline rows drive the comparison; fresh rows without a
+// baseline are reported as informational.
+func compare(baseline, current []row, maxRatio, minSeconds float64) (report, failures []string) {
+	cur := make(map[string]row, len(current))
+	for _, r := range current {
+		cur[r.key()] = r
+	}
+	seen := make(map[string]bool, len(baseline))
+	for _, base := range baseline {
+		key := base.key()
+		seen[key] = true
+		got, ok := cur[key]
+		if !ok {
+			f := fmt.Sprintf("FAIL %s: row missing from current results (coverage regression)", key)
+			report, failures = append(report, f), append(failures, f)
+			continue
+		}
+		switch {
+		case base.Expanded > 0 && float64(got.Expanded) > maxRatio*float64(base.Expanded):
+			f := fmt.Sprintf("FAIL %s: expanded %d vs baseline %d (%.2fx > %.1fx)",
+				key, got.Expanded, base.Expanded, float64(got.Expanded)/float64(base.Expanded), maxRatio)
+			report, failures = append(report, f), append(failures, f)
+		case base.Seconds >= minSeconds && got.Seconds > maxRatio*base.Seconds:
+			f := fmt.Sprintf("FAIL %s: %.4fs vs baseline %.4fs (%.2fx > %.1fx)",
+				key, got.Seconds, base.Seconds, got.Seconds/base.Seconds, maxRatio)
+			report, failures = append(report, f), append(failures, f)
+		default:
+			note := ""
+			if base.Seconds < minSeconds {
+				note = " [wall-clock below floor, expanded-only]"
+			}
+			report = append(report, fmt.Sprintf("ok   %s: %.4fs vs %.4fs, expanded %d vs %d%s",
+				key, got.Seconds, base.Seconds, got.Expanded, base.Expanded, note))
+		}
+	}
+	for _, r := range current {
+		if !seen[r.key()] {
+			report = append(report, fmt.Sprintf("new  %s: %.4fs, expanded %d (no baseline — refresh BENCH_baseline.json)",
+				r.key(), r.Seconds, r.Expanded))
+		}
+	}
+	return report, failures
+}
+
+func load(path string) ([]row, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rows, nil
+}
+
+func main() {
+	baselinePath := flag.String("baseline", "BENCH_baseline.json", "committed baseline results")
+	currentPath := flag.String("current", "BENCH_scale.json", "fresh benchmark results")
+	maxRatio := flag.Float64("max-ratio", 2.0, "failure threshold: current may not exceed baseline by more than this factor")
+	minSeconds := flag.Float64("min-seconds", 0.1, "skip wall-clock comparison for baseline rows faster than this")
+	flag.Parse()
+
+	baseline, err := load(*baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	current, err := load(*currentPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
+		os.Exit(2)
+	}
+	report, failures := compare(baseline, current, *maxRatio, *minSeconds)
+	for _, line := range report {
+		fmt.Println(line)
+	}
+	if len(failures) > 0 {
+		fmt.Fprintf(os.Stderr, "benchcompare: %d row(s) regressed beyond %.1fx\n", len(failures), *maxRatio)
+		os.Exit(1)
+	}
+	fmt.Printf("benchcompare: %d baseline row(s) within %.1fx\n", len(baseline), *maxRatio)
+}

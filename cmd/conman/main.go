@@ -376,43 +376,46 @@ func runBench(args []string) error {
 	}
 	const latency = 200 * time.Microsecond
 	var results []benchResult
-	sc, err := experiments.LinearScenarioByName("GRE")
-	if err != nil {
-		return err
-	}
-	for _, n := range []int{16, 64} {
-		for _, mode := range []string{"sequential", "concurrent"} {
-			best := time.Duration(0)
-			var counters nm.Counters
-			for rep := 0; rep < 2; rep++ {
-				tb, err := sc.Build(n)
-				if err != nil {
-					return err
+	// The plain GRE rows track the executor's scaling to n=128; the
+	// IGP-enabled rows additionally track the control modules' flooding
+	// cost. The row list is shared with BenchmarkLinearConfigure so the
+	// CI gate's coverage and the Go benchmark never diverge.
+	for _, row := range experiments.BenchApplyRows() {
+		sc := row.Scenario
+		for _, n := range row.Ns {
+			for _, mode := range []string{"sequential", "concurrent"} {
+				best := time.Duration(0)
+				var counters nm.Counters
+				for rep := 0; rep < 2; rep++ {
+					tb, err := sc.Build(n)
+					if err != nil {
+						return err
+					}
+					tb.NM.Sequential = mode == "sequential"
+					tb.NM.Workers = 64
+					plan, err := sc.PlanLinear(tb, n)
+					if err != nil {
+						return err
+					}
+					tb.NM.ResetCounters()
+					tb.Hub.SetLatency(latency)
+					start := time.Now()
+					if err := tb.NM.Apply(plan); err != nil {
+						return err
+					}
+					el := time.Since(start)
+					if best == 0 || el < best {
+						best = el
+					}
+					counters = tb.NM.Counters()
 				}
-				tb.NM.Sequential = mode == "sequential"
-				tb.NM.Workers = 64
-				plan, err := sc.PlanLinear(tb, n)
-				if err != nil {
-					return err
-				}
-				tb.NM.ResetCounters()
-				tb.Hub.SetLatency(latency)
-				start := time.Now()
-				if err := tb.NM.Apply(plan); err != nil {
-					return err
-				}
-				el := time.Since(start)
-				if best == 0 || el < best {
-					best = el
-				}
-				counters = tb.NM.Counters()
+				results = append(results, benchResult{
+					Benchmark: "LinearApply", Scenario: sc.Name, N: n, Mode: mode,
+					Seconds: best.Seconds(), Sent: counters.Sent(), Received: counters.Received(),
+				})
+				fmt.Fprintf(os.Stderr, "LinearApply/%s n=%d %s: %v (%d sent / %d received)\n",
+					sc.Name, n, mode, best, counters.Sent(), counters.Received())
 			}
-			results = append(results, benchResult{
-				Benchmark: "LinearApply", Scenario: sc.Name, N: n, Mode: mode,
-				Seconds: best.Seconds(), Sent: counters.Sent(), Received: counters.Received(),
-			})
-			fmt.Fprintf(os.Stderr, "LinearApply/%s n=%d %s: %v (%d sent / %d received)\n",
-				sc.Name, n, mode, best, counters.Sent(), counters.Received())
 		}
 	}
 	// Path-finder cost: legacy enumerate-then-filter vs best-first on

@@ -149,6 +149,7 @@ const (
 	NameGRE  = core.NameGRE
 	NameMPLS = core.NameMPLS
 	NameVLAN = core.NameVLAN
+	NameIGP  = core.NameIGP
 )
 
 // Manager types.
@@ -213,6 +214,11 @@ func SelectPath(paths []*Path) *Path { return nm.SelectPath(paths) }
 // spec.Exhaustive reroutes through the legacy enumerator for A/B runs.
 func FindBest(g *Graph, spec FindSpec) (*Path, PruneStats, error) { return g.FindBest(spec) }
 
+// PreferRecognized reports whether a preference string belongs to a
+// flavour family the goal-directed pruner understands; unrecognised
+// strings run undirected and are flagged via PruneStats.PreferUnknown.
+func PreferRecognized(prefer string) bool { return nm.PreferRecognized(prefer) }
+
 // BuildFig4 constructs the paper's Fig 4 VPN testbed.
 func BuildFig4() (*Testbed, error) { return experiments.BuildFig4() }
 
@@ -227,6 +233,22 @@ func BuildFig9() (*Testbed, error) { return experiments.BuildFig9() }
 func BuildDiamondShared(k int) (*Testbed, []SharedPair, error) {
 	return experiments.BuildDiamondShared(k)
 }
+
+// BuildLinearGREIGP constructs the GRE chain of n routers with an IGP
+// routing control module (§II-F) on every router: the compiled
+// configuration includes one pipe per IGP adjacency, the modules flood
+// link state and install the transit routes, and the tunnel forwards
+// end-to-end at any n (the plain chain only delivers at n=3).
+func BuildLinearGREIGP(n int) (*Testbed, error) { return experiments.BuildLinearGREIGP(n) }
+
+// BuildDiamondGRE constructs the routed diamond of the GRE reroute
+// scenarios: two edge routers, two equivalent transit arms, IGP control
+// modules throughout. Cutting the active arm's wire reroutes the tunnel
+// over the other arm and the IGP re-converges.
+func BuildDiamondGRE() (*Testbed, error) { return experiments.BuildDiamondGRE() }
+
+// DiamondGREGoal returns the site-to-site goal across the GRE diamond.
+func DiamondGREGoal() Goal { return experiments.DiamondGREGoal() }
 
 // Fig4Goal returns the §III-C site-to-site connectivity goal.
 func Fig4Goal() Goal { return experiments.Fig4Goal() }

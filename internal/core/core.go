@@ -45,6 +45,7 @@ const (
 	NameTCP   ModuleName = "TCP"
 	NameIPSec ModuleName = "IPSec"
 	NameIKE   ModuleName = "IKE"
+	NameIGP   ModuleName = "IGP"
 )
 
 // Display returns the figure-style spelling of a module name ("IP" for
@@ -354,6 +355,13 @@ type SwitchSpec struct {
 	Modes       []SwitchMode `json:"modes,omitempty"`
 	Multicast   bool         `json:"multicast,omitempty"`
 	StateSource StateSource  `json:"state_source"`
+	// StateDependency, when non-nil, declares that switching state the
+	// module cannot derive through local peer interaction can be supplied
+	// by a control module advertising ProvidesState with the same token
+	// (paper §II-F: an IP module's transit routes come from an IGP). The
+	// dependency is advisory — a module whose StateSource is local still
+	// switches between directly connected subnets without a provider.
+	StateDependency *Dependency `json:"state_dependency,omitempty"`
 }
 
 // Supports reports whether mode is among the advertised modes.
@@ -501,6 +509,10 @@ func (a Abstraction) Clone() Abstraction {
 	b.Filter.Classifiers = append([]FilterClassifier(nil), a.Filter.Classifiers...)
 	b.Filter.Locations = append([]PipeEnd(nil), a.Filter.Locations...)
 	b.Switch.Modes = append([]SwitchMode(nil), a.Switch.Modes...)
+	if a.Switch.StateDependency != nil {
+		d := *a.Switch.StateDependency
+		b.Switch.StateDependency = &d
+	}
 	b.PerfReporting = append([]string(nil), a.PerfReporting...)
 	b.Tradeoffs = make([]Tradeoff, len(a.Tradeoffs))
 	for i, t := range a.Tradeoffs {

@@ -183,11 +183,6 @@ func (a *MA) LocalFields(target core.ModuleID, component string) (map[string]str
 
 // Convey implements Services: module-to-module message via the NM.
 func (a *MA) Convey(from, to core.ModuleRef, kind string, body any) error {
-	b, err := msg.New(msg.TypeConvey, string(a.dev), msg.NMName, 0, nil)
-	if err != nil {
-		return err
-	}
-	_ = b
 	inner, err := jsonBody(body)
 	if err != nil {
 		return err

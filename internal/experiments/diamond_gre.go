@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+	"net/netip"
+
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+	"conman/internal/modules"
+	"conman/internal/netsim"
+	"conman/internal/nm"
+)
+
+// BuildDiamondGRE constructs a routed diamond for the GRE reroute
+// scenarios: edge routers EL and ER with customer sites D and E, and two
+// equivalent transit routers B1 and B2. The GRE tunnel between the edges
+// crosses one arm; cutting the wire on that arm reroutes it over the
+// other, and the IGP control modules re-converge so the tunnel's cached
+// endpoint addresses — which sit on the now-dead links — stay reachable
+// over the surviving arm:
+//
+//	D -- EL == B1 == ER -- E
+//	      \\        //
+//	       === B2 ===
+//
+// (EL-B1/B1-ER carry 10.100.1.0/24 and 10.100.2.0/24; the B2 arm carries
+// 10.200.1.0/24 and 10.200.2.0/24.)
+func BuildDiamondGRE() (*Testbed, error) {
+	tb, err := newLinearBase(nil)
+	if err != nil {
+		return nil, err
+	}
+
+	type routerSpec struct {
+		id       core.DeviceID
+		ports    []string
+		external string // customer-facing port ("" for transit)
+		custAddr netip.Prefix
+		ispAddrs map[string]netip.Prefix
+	}
+	specs := []routerSpec{
+		{
+			id: "EL", ports: []string{"eth0", "eth1", "eth2"}, external: "eth0",
+			custAddr: pfx("192.168.0.2/24"),
+			ispAddrs: map[string]netip.Prefix{"eth1": pfx("10.100.1.1/24"), "eth2": pfx("10.200.1.1/24")},
+		},
+		{
+			id: "B1", ports: []string{"eth0", "eth1"},
+			ispAddrs: map[string]netip.Prefix{"eth0": pfx("10.100.1.2/24"), "eth1": pfx("10.100.2.1/24")},
+		},
+		{
+			id: "B2", ports: []string{"eth0", "eth1"},
+			ispAddrs: map[string]netip.Prefix{"eth0": pfx("10.200.1.2/24"), "eth1": pfx("10.200.2.1/24")},
+		},
+		{
+			id: "ER", ports: []string{"eth0", "eth1", "eth2"}, external: "eth2",
+			custAddr: pfx("192.168.1.2/24"),
+			ispAddrs: map[string]netip.Prefix{"eth0": pfx("10.100.2.2/24"), "eth1": pfx("10.200.2.2/24")},
+		},
+	}
+	for _, spec := range specs {
+		dev, err := device.New(tb.Net, spec.id, kernel.RoleRouter, spec.ports...)
+		if err != nil {
+			return nil, err
+		}
+		tb.Devices[spec.id] = dev
+		if spec.external != "" {
+			dev.MarkExternal(spec.external)
+		}
+		for i, port := range spec.ports {
+			eth := modules.NewETH(dev.MA, core.ModuleID(fmt.Sprintf("e%d", i)), false, port)
+			if port == spec.external {
+				eth.RegisterPhysical(dev.MA, port)
+			} else {
+				eth.RegisterPhysical(dev.MA)
+			}
+			dev.AddModule(eth)
+		}
+		if spec.external != "" {
+			ipc, err := modules.NewIP(dev.MA, "ipc", "C1", map[string]netip.Prefix{spec.external: spec.custAddr})
+			if err != nil {
+				return nil, err
+			}
+			dev.AddModule(ipc)
+		}
+		ips, err := modules.NewIP(dev.MA, "ips", "ISP", spec.ispAddrs)
+		if err != nil {
+			return nil, err
+		}
+		ips.AllowConnectable(core.NameIGP)
+		dev.AddModule(ips)
+		dev.AddModule(modules.NewIGP(dev.MA, "igp"))
+		if spec.external != "" {
+			dev.AddModule(modules.NewGRE(dev.MA, "gre"))
+		}
+	}
+
+	for _, l := range []struct {
+		name string
+		a, b netsim.PortID
+	}{
+		{"D-EL", netsim.PortID{Device: "D", Name: "eth0"}, netsim.PortID{Device: "EL", Name: "eth0"}},
+		{"EL-B1", netsim.PortID{Device: "EL", Name: "eth1"}, netsim.PortID{Device: "B1", Name: "eth0"}},
+		{"EL-B2", netsim.PortID{Device: "EL", Name: "eth2"}, netsim.PortID{Device: "B2", Name: "eth0"}},
+		{"B1-ER", netsim.PortID{Device: "B1", Name: "eth1"}, netsim.PortID{Device: "ER", Name: "eth0"}},
+		{"B2-ER", netsim.PortID{Device: "B2", Name: "eth1"}, netsim.PortID{Device: "ER", Name: "eth1"}},
+		{"ER-E", netsim.PortID{Device: "ER", Name: "eth2"}, netsim.PortID{Device: "E", Name: "eth0"}},
+	} {
+		if err := connect(tb.Net, l.name, l.a, l.b); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// DiamondGREGoal is the site-to-site goal across the routed diamond.
+func DiamondGREGoal() nm.Goal {
+	return nm.Goal{
+		From:          core.Ref(core.NameETH, "EL", "e0"),
+		To:            core.Ref(core.NameETH, "ER", "e2"),
+		FromDomain:    "C1-S1",
+		ToDomain:      "C1-S2",
+		FromGateway:   "S1-gateway",
+		ToGateway:     "S2-gateway",
+		TrafficDomain: "C1",
+	}
+}

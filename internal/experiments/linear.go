@@ -152,11 +152,30 @@ func (tb *Testbed) wire(n int) error {
 
 // BuildLinearGRE builds a chain of n >= 3 routers with GRE modules at the
 // ends, for the Table VI GRE row (messages: 3n+2 sent, 2n+2 received).
+// Without routing control modules transit routers only reach directly
+// connected subnets, so the data plane forwards end-to-end at n=3 only;
+// BuildLinearGREIGP opens the scenario at any n.
 func BuildLinearGRE(n int) (*Testbed, error) { return BuildLinearGREOver(n, nil) }
 
 // BuildLinearGREOver is BuildLinearGRE with the management channel
 // running over the given transport (nil = in-process Hub).
 func BuildLinearGREOver(n int, factory EndpointFactory) (*Testbed, error) {
+	return buildLinearGRE(n, factory, false)
+}
+
+// BuildLinearGREIGP builds the GRE chain with an IGP routing control
+// module (§II-F) on every router: the NM's compiled configuration then
+// includes one pipe per IGP adjacency, the modules flood link state and
+// install transit routes, and the tunnel forwards end-to-end at any n.
+func BuildLinearGREIGP(n int) (*Testbed, error) { return BuildLinearGREIGPOver(n, nil) }
+
+// BuildLinearGREIGPOver is BuildLinearGREIGP over the given transport
+// (nil = in-process Hub).
+func BuildLinearGREIGPOver(n int, factory EndpointFactory) (*Testbed, error) {
+	return buildLinearGRE(n, factory, true)
+}
+
+func buildLinearGRE(n int, factory EndpointFactory, withIGP bool) (*Testbed, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("experiments: linear chain needs n >= 2, got %d", n)
 	}
@@ -203,6 +222,7 @@ func BuildLinearGREOver(n int, factory EndpointFactory) (*Testbed, error) {
 			left, _ := linkSubnet(k)
 			ispAddrs[chainRight] = left
 		}
+		var ips *modules.IP
 		if edge {
 			custAddr := pfx("192.168.0.2/24")
 			if k == n {
@@ -213,18 +233,24 @@ func BuildLinearGREOver(n int, factory EndpointFactory) (*Testbed, error) {
 				return nil, err
 			}
 			dev.AddModule(ipc)
-			ips, err := modules.NewIP(dev.MA, "ips", "ISP", map[string]netip.Prefix{coreIface: ispAddrs[coreIface]})
+			ips, err = modules.NewIP(dev.MA, "ips", "ISP", map[string]netip.Prefix{coreIface: ispAddrs[coreIface]})
 			if err != nil {
 				return nil, err
 			}
-			dev.AddModule(ips)
-			dev.AddModule(modules.NewGRE(dev.MA, "gre"))
 		} else {
-			ips, err := modules.NewIP(dev.MA, "ips", "ISP", ispAddrs)
+			var err error
+			ips, err = modules.NewIP(dev.MA, "ips", "ISP", ispAddrs)
 			if err != nil {
 				return nil, err
 			}
-			dev.AddModule(ips)
+		}
+		if withIGP {
+			ips.AllowConnectable(core.NameIGP)
+			dev.AddModule(modules.NewIGP(dev.MA, "igp"))
+		}
+		dev.AddModule(ips)
+		if edge {
+			dev.AddModule(modules.NewGRE(dev.MA, "gre"))
 		}
 	}
 	if err := tb.wire(n); err != nil {

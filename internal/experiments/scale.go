@@ -50,12 +50,51 @@ func LinearScenarios() []LinearScenario {
 	}
 }
 
-// LinearScenarioByName fetches a scenario ("GRE", "MPLS", "VLAN").
+// GREIGPScenario is the GRE chain with an IGP routing control module on
+// every router (§II-F): the compiled configuration includes the IGP
+// adjacency pipes, so the tunnel forwards end-to-end at any n — the
+// scale scenario the plain GRE row only delivers at n=3. It is not part
+// of LinearScenarios(): the paper's Table VI has no row for it, and the
+// flooding volume depends on arrival order under the concurrent
+// executor, so there is no closed-form message count to assert.
+func GREIGPScenario() LinearScenario {
+	return LinearScenario{
+		Name: "GRE+IGP", PathDesc: "GRE-IP tunnel",
+		Build: BuildLinearGREIGP, BuildOver: BuildLinearGREIGPOver,
+	}
+}
+
+// BenchApplyRow pairs a scenario with the chain lengths its LinearApply
+// benchmark rows cover.
+type BenchApplyRow struct {
+	Scenario LinearScenario
+	Ns       []int
+}
+
+// BenchApplyRows is the single source of truth for the scale-apply
+// benchmark coverage: `BenchmarkLinearConfigure`, `conman bench` (and
+// therefore the rows the CI benchcompare gate checks against the
+// committed BENCH_baseline.json) all iterate this list. The IGP-enabled
+// rows additionally pay the §II-F control modules' link-state flooding
+// during apply.
+func BenchApplyRows() []BenchApplyRow {
+	gre, _ := LinearScenarioByName("GRE")
+	return []BenchApplyRow{
+		{Scenario: gre, Ns: []int{16, 64, 128}},
+		{Scenario: GREIGPScenario(), Ns: []int{16, 64}},
+	}
+}
+
+// LinearScenarioByName fetches a scenario ("GRE", "MPLS", "VLAN", or the
+// extra "GRE+IGP" scale scenario).
 func LinearScenarioByName(name string) (LinearScenario, error) {
 	for _, sc := range LinearScenarios() {
 		if sc.Name == name {
 			return sc, nil
 		}
+	}
+	if sc := GREIGPScenario(); sc.Name == name {
+		return sc, nil
 	}
 	return LinearScenario{}, fmt.Errorf("experiments: no linear scenario %q", name)
 }

@@ -227,6 +227,13 @@ type Kernel struct {
 // maxEncapDepth bounds recursive encapsulation/decapsulation.
 const maxEncapDepth = 10
 
+// originTTL is the TTL of locally originated IPv4 packets (and GRE
+// outer headers). Routers originate at the protocol maximum rather than
+// the host default of 64 so the scale chains forward end-to-end: a
+// linear topology of n routers needs n-1 forwarding hops, and the IGP
+// scenarios run at n=128.
+const originTTL = 255
+
 // New creates a kernel for a device. send transmits a frame out of a
 // physical port; portMAC resolves a port's MAC address.
 func New(dev core.DeviceID, role Role, send func(port string, frame []byte) error, portMAC func(port string) (packet.MAC, bool)) *Kernel {
@@ -498,6 +505,21 @@ func (k *Kernel) DelRouteWhere(table string, pred func(Route) bool) int {
 	}
 	t.Routes = kept
 	return removed
+}
+
+// Routes returns a copy of the named table's routes ("" = main), for
+// tests and operators inspecting what modules installed.
+func (k *Kernel) Routes(table string) []Route {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if table == "" {
+		table = "main"
+	}
+	t, ok := k.tables[table]
+	if !ok {
+		return nil
+	}
+	return append([]Route(nil), t.Routes...)
 }
 
 // DropTable removes a named policy table: its routes, every policy rule
@@ -1059,7 +1081,7 @@ func (k *Kernel) SendIP(src, dst netip.Addr, proto packet.IPProto, payload []byt
 			return fmt.Errorf("kernel[%s]: no source address for %s", k.dev, dst)
 		}
 	}
-	ip := packet.IPv4{TTL: 64, Proto: proto, Src: src, Dst: dst}
+	ip := packet.IPv4{TTL: originTTL, Proto: proto, Src: src, Dst: dst}
 	pkt, err := packet.Serialize(payload, ip)
 	if err != nil {
 		return err
@@ -1188,7 +1210,7 @@ func (k *Kernel) greOutput(tun GRETunnel, inner []byte, depth int) {
 		Seq:             tun.txSeq,
 		Proto:           packet.EtherTypeIPv4,
 	}
-	outer := packet.IPv4{TTL: 64, Proto: packet.ProtoGRE, Src: tun.Local, Dst: tun.Remote}
+	outer := packet.IPv4{TTL: originTTL, Proto: packet.ProtoGRE, Src: tun.Local, Dst: tun.Remote}
 	pkt, err := packet.Serialize(inner, outer, g)
 	if err != nil {
 		return

@@ -1,0 +1,524 @@
+package modules
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+)
+
+// IGP is a routing control module (paper §II-F): like a real routing
+// daemon it wraps the kernel's routing table, floods link-state
+// advertisements to its peer IGP modules — over the module-to-module
+// management channel, standing in for the protocol's own link-local
+// packets — and installs the transit routes that make multi-hop IP
+// forwarding work. The NM never sees a route: it only creates one pipe
+// per adjacency (Upper = IGP, Lower = the co-located IP module, peers =
+// the neighbouring IGP/IP pair), exactly as it names IKE as the provider
+// of IPSec's keying dependency. Deleting the pipes withdraws the routes
+// the module owns.
+//
+// # Protocol
+//
+// Each module originates a sequence-numbered LSA describing its router:
+// the kernel's connected subnets (with the router's host address on
+// each, so neighbours can resolve next hops by subnet matching) and the
+// set of adjacent IGP modules. LSAs flood reliably over the adjacency
+// graph with duplicate suppression on (origin, seq); convergence is
+// deterministic because acceptance depends only on sequence numbers,
+// never on arrival order. Route computation is a breadth-first shortest
+// path over the *bidirectionally confirmed* adjacency graph (an edge
+// exists only if both ends advertise it), so a cut link disappears as
+// soon as either end re-originates, and an unreachable router's subnets
+// are withdrawn even while its stale LSA lingers in the database.
+type IGP struct {
+	device.BaseModule
+
+	mu sync.Mutex
+	// adjs maps this module's down pipes to their adjacencies.
+	adjs map[core.PipeID]*igpAdj
+	// lsdb is the link-state database, keyed by origin module ref.
+	lsdb map[string]*igpLSA
+	// seq is the sequence number of this module's own LSA.
+	seq uint64
+	// installed tracks the kernel routes this module owns, keyed by
+	// dst|via|dev, so recomputation withdraws exactly the stale ones.
+	installed map[string]kernel.Route
+}
+
+// igpAdj is one adjacency derived from an NM-created pipe (keyed by
+// the pipe id in IGP.adjs).
+type igpAdj struct {
+	nbr core.ModuleRef // neighbouring IGP module
+}
+
+// IPRouteToken is the dependency token linking the IP module's transit
+// switching state to a routing control module, mirroring IPSecKeyToken.
+const IPRouteToken = "ipv4-routes"
+
+// igpUpdate is the convey body: a batch of LSAs, like a real IGP's
+// Link State Update packet. Batching matters — a database sync or a
+// multi-LSA reflood costs one management-channel round trip instead of
+// one per LSA, which keeps the flooding traffic linear in what actually
+// changed.
+type igpUpdate struct {
+	LSAs []*igpLSA `json:"lsas"`
+}
+
+// igpLSA is the flooded link-state advertisement.
+type igpLSA struct {
+	Origin string   `json:"origin"` // ModuleRef.String() of the advertiser
+	Seq    uint64   `json:"seq"`
+	Addrs  []string `json:"addrs"`     // host addresses with prefix length
+	Nbrs   []string `json:"neighbors"` // adjacent IGP module refs
+
+	// prefixes is the parsed form of Addrs, filled on store (unexported,
+	// so it never rides the wire).
+	prefixes []netip.Prefix
+}
+
+func (l *igpLSA) parse() {
+	l.prefixes = l.prefixes[:0]
+	for _, a := range l.Addrs {
+		if p, err := netip.ParsePrefix(a); err == nil {
+			l.prefixes = append(l.prefixes, p)
+		}
+	}
+}
+
+// NewIGP creates an IGP control module.
+func NewIGP(svc device.Services, id core.ModuleID) *IGP {
+	return &IGP{
+		BaseModule: device.BaseModule{
+			ModRef: core.Ref(core.NameIGP, svc.Device(), id),
+			Svc:    svc,
+		},
+		adjs:      make(map[core.PipeID]*igpAdj),
+		lsdb:      make(map[string]*igpLSA),
+		installed: make(map[string]kernel.Route),
+	}
+}
+
+// Abstraction implements device.Module: a control module advertising
+// that it can provide IPv4 reachability state (§II-F), runnable over an
+// IPv4 module below.
+func (g *IGP) Abstraction() core.Abstraction {
+	return core.Abstraction{
+		Ref:           g.Ref(),
+		Kind:          core.KindControl,
+		Down:          core.PipeSpec{Connectable: []core.ModuleName{core.NameIPv4}},
+		Peerable:      []core.ModuleName{core.NameIGP},
+		ProvidesState: []string{IPRouteToken},
+	}
+}
+
+// Actual implements device.Module: the adjacencies (as pipes), the LSDB
+// summary and the owned routes, for showActual and reconciliation.
+func (g *IGP) Actual() core.ModuleState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := core.ModuleState{Ref: g.Ref(), LowLevel: map[string]string{}}
+	for id, adj := range g.adjs {
+		p, ok := g.Svc.PipeByID(id)
+		if !ok {
+			continue
+		}
+		st.Pipes = append(st.Pipes, core.PipeState{
+			ID: id, End: core.EndDown, Other: p.Lower, Peer: adj.nbr, Status: p.Status,
+		})
+	}
+	sort.Slice(st.Pipes, func(i, j int) bool { return st.Pipes[i].ID < st.Pipes[j].ID })
+	for origin, lsa := range g.lsdb {
+		st.LowLevel["lsa:"+origin] = fmt.Sprintf("seq=%d addrs=%d nbrs=%d", lsa.Seq, len(lsa.Addrs), len(lsa.Nbrs))
+	}
+	for key := range g.installed {
+		st.LowLevel["route:"+key] = "installed"
+	}
+	return st
+}
+
+// localAddrs lists the kernel's connected interface addresses, excluding
+// tunnel interfaces (their state is derived, not topology) in
+// deterministic order.
+func (g *IGP) localAddrs() []netip.Prefix {
+	k := g.Svc.Kernel()
+	var out []netip.Prefix
+	for _, name := range k.Ifaces() {
+		i, ok := k.Iface(name)
+		if !ok || i.Kind == kernel.IfaceGRE {
+			continue
+		}
+		out = append(out, i.Addrs...)
+	}
+	return out
+}
+
+// ownLSALocked builds this module's current LSA. Caller holds g.mu.
+func (g *IGP) ownLSALocked() *igpLSA {
+	lsa := &igpLSA{Origin: g.Ref().String(), Seq: g.seq}
+	for _, p := range g.localAddrs() {
+		lsa.Addrs = append(lsa.Addrs, p.String())
+	}
+	sort.Strings(lsa.Addrs)
+	seen := map[string]bool{}
+	for _, adj := range g.adjs {
+		if !seen[adj.nbr.String()] {
+			seen[adj.nbr.String()] = true
+			lsa.Nbrs = append(lsa.Nbrs, adj.nbr.String())
+		}
+	}
+	sort.Strings(lsa.Nbrs)
+	lsa.parse()
+	return lsa
+}
+
+// neighbors snapshots the distinct adjacent IGP modules. Caller holds g.mu.
+func (g *IGP) neighborsLocked() []core.ModuleRef {
+	var out []core.ModuleRef
+	seen := map[string]bool{}
+	for _, adj := range g.adjs {
+		if !seen[adj.nbr.String()] {
+			seen[adj.nbr.String()] = true
+			out = append(out, adj.nbr)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// reoriginate bumps this module's sequence number, stores the fresh LSA
+// and floods it to every neighbour, then recomputes routes.
+func (g *IGP) reoriginate() {
+	g.mu.Lock()
+	g.seq++
+	lsa := g.ownLSALocked()
+	g.lsdb[lsa.Origin] = lsa
+	nbrs := g.neighborsLocked()
+	g.mu.Unlock()
+	for _, nbr := range nbrs {
+		g.sendUpdate(nbr, []*igpLSA{lsa})
+	}
+	g.recompute()
+}
+
+// sendUpdate conveys a batch of LSAs to a neighbouring IGP module,
+// omitting the ones the neighbour originated itself. Never called with
+// g.mu held: the in-process channel delivers synchronously and the
+// receiver may flood back into us.
+func (g *IGP) sendUpdate(to core.ModuleRef, lsas []*igpLSA) {
+	var out []*igpLSA
+	for _, lsa := range lsas {
+		if lsa.Origin != to.String() {
+			out = append(out, lsa)
+		}
+	}
+	if len(out) == 0 {
+		return
+	}
+	_ = g.Svc.Convey(g.Ref(), to, "igp-lsa", igpUpdate{LSAs: out})
+}
+
+// PipeAttached implements device.Module. The IGP end of an adjacency
+// pipe is the upper end; forming the adjacency re-originates our LSA and
+// synchronises the full database to the new neighbour (so a late joiner
+// converges no matter the order the NM's concurrent executor created the
+// pipes in).
+func (g *IGP) PipeAttached(p *device.Pipe, side device.PipeSide) error {
+	if side != device.SideUpper {
+		return nil
+	}
+	nbr := p.UpperPeer
+	if nbr.IsZero() || nbr.Name != core.NameIGP {
+		return fmt.Errorf("%s: adjacency pipe %s has no IGP peer", g.Ref(), p.ID)
+	}
+	g.mu.Lock()
+	g.adjs[p.ID] = &igpAdj{nbr: nbr}
+	g.seq++
+	own := g.ownLSALocked()
+	g.lsdb[own.Origin] = own
+	var db []*igpLSA
+	for _, origin := range g.sortedOriginsLocked() {
+		db = append(db, g.lsdb[origin])
+	}
+	var others []core.ModuleRef
+	for _, n := range g.neighborsLocked() {
+		if n != nbr {
+			others = append(others, n)
+		}
+	}
+	g.mu.Unlock()
+	// One batched database sync to the new neighbour (including the
+	// fresh self-LSA that now lists it), and the self-LSA alone to the
+	// established ones so the rest of the network learns the new edge.
+	g.sendUpdate(nbr, db)
+	for _, n := range others {
+		g.sendUpdate(n, []*igpLSA{own})
+	}
+	g.recompute()
+	return nil
+}
+
+// PipeDeleted implements device.Module: losing an adjacency
+// re-originates (so the rest of the network drops the edge), and losing
+// the last adjacency withdraws every owned route and clears the
+// database — the module's entire footprint goes with its pipes, which
+// is what lets Withdraw/Destroy reconcile IGP state like any other
+// component.
+func (g *IGP) PipeDeleted(p *device.Pipe, side device.PipeSide) error {
+	if side != device.SideUpper {
+		return nil
+	}
+	g.mu.Lock()
+	delete(g.adjs, p.ID)
+	last := len(g.adjs) == 0
+	if last {
+		k := g.Svc.Kernel()
+		for _, rt := range g.installed {
+			rt := rt
+			k.DelRouteWhere("main", func(r kernel.Route) bool {
+				return r.Dst == rt.Dst && r.Via == rt.Via && r.Dev == rt.Dev
+			})
+		}
+		g.installed = make(map[string]kernel.Route)
+		g.lsdb = make(map[string]*igpLSA)
+	}
+	g.mu.Unlock()
+	if !last {
+		g.reoriginate()
+	}
+	return nil
+}
+
+func (g *IGP) sortedOriginsLocked() []string {
+	origins := make([]string, 0, len(g.lsdb))
+	for o := range g.lsdb {
+		origins = append(origins, o)
+	}
+	sort.Strings(origins)
+	return origins
+}
+
+// HandleConvey implements device.Module: accept every LSA in the batch
+// that is news (higher sequence number than what we hold), re-flood the
+// accepted ones — as one batch per neighbour — and recompute routes
+// once.
+func (g *IGP) HandleConvey(from core.ModuleRef, kind string, body []byte) error {
+	if kind != "igp-lsa" {
+		return nil
+	}
+	var upd igpUpdate
+	if err := json.Unmarshal(body, &upd); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	var accepted []*igpLSA
+	for _, lsa := range upd.LSAs {
+		if lsa == nil {
+			continue
+		}
+		if cur, ok := g.lsdb[lsa.Origin]; ok && cur.Seq >= lsa.Seq {
+			continue
+		}
+		lsa.parse()
+		g.lsdb[lsa.Origin] = lsa
+		accepted = append(accepted, lsa)
+	}
+	if len(accepted) == 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	var flood []core.ModuleRef
+	for _, nbr := range g.neighborsLocked() {
+		if nbr != from {
+			flood = append(flood, nbr)
+		}
+	}
+	g.mu.Unlock()
+	for _, nbr := range flood {
+		g.sendUpdate(nbr, accepted)
+	}
+	g.recompute()
+	g.Svc.Kick()
+	return nil
+}
+
+// recompute runs the shortest-path computation over the LSDB and
+// reconciles the kernel's main table with the result: routes to every
+// reachable remote subnet via the first-hop neighbour, installed and
+// withdrawn incrementally so the module owns exactly the routes the
+// current topology wants.
+func (g *IGP) recompute() {
+	g.mu.Lock()
+	self := g.Ref().String()
+	own, haveSelf := g.lsdb[self]
+	if !haveSelf || len(g.adjs) == 0 {
+		g.mu.Unlock()
+		return
+	}
+
+	// Bidirectionally confirmed adjacency graph.
+	edges := make(map[string][]string, len(g.lsdb))
+	declared := func(lsa *igpLSA, nbr string) bool {
+		for _, n := range lsa.Nbrs {
+			if n == nbr {
+				return true
+			}
+		}
+		return false
+	}
+	for _, origin := range g.sortedOriginsLocked() {
+		lsa := g.lsdb[origin]
+		for _, nbr := range lsa.Nbrs {
+			if peer, ok := g.lsdb[nbr]; ok && declared(peer, origin) {
+				edges[origin] = append(edges[origin], nbr)
+			}
+		}
+	}
+
+	// BFS from self; firstHop[o] is the neighbour a packet toward o
+	// leaves through. Deterministic: origins and edge lists are sorted.
+	firstHop := map[string]string{}
+	queue := []string{self}
+	visited := map[string]bool{self: true}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[cur] {
+			if visited[next] {
+				continue
+			}
+			visited[next] = true
+			if cur == self {
+				firstHop[next] = next
+			} else {
+				firstHop[next] = firstHop[cur]
+			}
+			queue = append(queue, next)
+		}
+	}
+
+	// Local subnets are never routed: they are directly connected.
+	local := map[netip.Prefix]bool{}
+	for _, p := range own.prefixes {
+		local[p.Masked()] = true
+	}
+
+	// Desired routes: every reachable remote subnet via the next-hop
+	// address — the first-hop neighbour's address inside one of our
+	// connected subnets.
+	k := g.Svc.Kernel()
+	desired := map[string]kernel.Route{}
+	for _, origin := range g.sortedOriginsLocked() {
+		if origin == self {
+			continue
+		}
+		hop, reachable := firstHop[origin]
+		if !reachable {
+			continue
+		}
+		hopLSA := g.lsdb[hop]
+		var via netip.Addr
+		var dev string
+		for _, p := range hopLSA.prefixes {
+			if iface, _, ok := k.IfaceForSubnet(p.Addr()); ok {
+				via, dev = p.Addr(), iface
+				break
+			}
+		}
+		if !via.IsValid() {
+			continue // adjacency formed but no shared subnet yet
+		}
+		for _, p := range g.lsdb[origin].prefixes {
+			dst := p.Masked()
+			if local[dst] {
+				continue
+			}
+			key := dst.String() + "|" + via.String() + "|" + dev
+			if _, dup := desired[key]; !dup {
+				desired[key] = kernel.Route{Dst: dst, Via: via, Dev: dev, MPLSKey: -1}
+			}
+		}
+	}
+
+	// Reconcile the kernel under the module lock (kernel calls never
+	// re-enter the module, and the g.mu -> kernel.mu order is the one
+	// every module method uses), so two concurrent recomputations cannot
+	// interleave their installs and withdrawals.
+	changed := false
+	for key, rt := range g.installed {
+		if _, keep := desired[key]; keep {
+			continue
+		}
+		rt := rt
+		k.DelRouteWhere("main", func(r kernel.Route) bool {
+			return r.Dst == rt.Dst && r.Via == rt.Via && r.Dev == rt.Dev
+		})
+		delete(g.installed, key)
+		changed = true
+	}
+	keys := make([]string, 0, len(desired))
+	for key := range desired {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		if _, have := g.installed[key]; have {
+			continue
+		}
+		rt := desired[key]
+		_ = k.AddRoute("", rt)
+		g.installed[key] = rt
+		changed = true
+	}
+	g.mu.Unlock()
+
+	if changed {
+		g.Svc.Kick()
+	}
+}
+
+// RouteCount reports how many kernel routes the module currently owns
+// (tests and operators poll it for convergence).
+func (g *IGP) RouteCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.installed)
+}
+
+// ListFields implements device.Module: convergence status for operators
+// and the NM's debugging walk.
+func (g *IGP) ListFields(component string) (map[string]string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return map[string]string{
+		"lsdb-size":   fmt.Sprint(len(g.lsdb)),
+		"adjacencies": fmt.Sprint(len(g.adjs)),
+		"routes":      fmt.Sprint(len(g.installed)),
+	}, nil
+}
+
+// SelfTest implements device.Module: an IGP is healthy when every
+// adjacency pipe's neighbour has a database entry confirming us back.
+func (g *IGP) SelfTest(pipe core.PipeID) (bool, string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	adj, ok := g.adjs[pipe]
+	if !ok {
+		return false, fmt.Sprintf("no adjacency on pipe %s", pipe)
+	}
+	lsa, ok := g.lsdb[adj.nbr.String()]
+	if !ok {
+		return false, fmt.Sprintf("no LSA from neighbour %s", adj.nbr)
+	}
+	for _, n := range lsa.Nbrs {
+		if n == g.Ref().String() {
+			return true, fmt.Sprintf("adjacency with %s confirmed (seq %d)", adj.nbr, lsa.Seq)
+		}
+	}
+	return false, fmt.Sprintf("neighbour %s does not list us", adj.nbr)
+}

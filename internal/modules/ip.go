@@ -138,6 +138,17 @@ func (m *IP) Abstraction() core.Abstraction {
 				core.SwDownUp, core.SwUpDown, core.SwDownDown, core.SwUpUp,
 			},
 			StateSource: core.StateLocal,
+			// Transit switching between subnets the module is not
+			// directly connected to needs reachability state it cannot
+			// derive from its own peer exchanges; a routing control
+			// module (§II-F) advertising ProvidesState for the same
+			// token supplies it. The NM matches the two by token
+			// equality, exactly like IPSec's keying dependency on IKE.
+			StateDependency: &core.Dependency{
+				Kind:        core.DepExternalState,
+				Token:       IPRouteToken,
+				Description: "transit routes from a routing control module (IGP)",
+			},
 		},
 		Filter: core.FilterSpec{
 			Classifiers: []core.FilterClassifier{

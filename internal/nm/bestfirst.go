@@ -224,6 +224,7 @@ type bfFinder struct {
 func (g *Graph) FindBest(spec FindSpec) (*Path, PruneStats, error) {
 	if spec.Exhaustive {
 		paths, stats, err := g.FindPaths(spec)
+		stats.PreferUnknown = spec.Prefer != "" && !PreferRecognized(spec.Prefer)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -265,6 +266,7 @@ func (g *Graph) FindBest(spec FindSpec) (*Path, PruneStats, error) {
 	if f.maxStack == 0 {
 		f.maxStack = DefaultMaxStack
 	}
+	f.stats.PreferUnknown = spec.Prefer != "" && !PreferRecognized(spec.Prefer)
 	heap.Init(&f.queue)
 	f.enter(nil, from, core.EndPhy, nil, entryPipe, "")
 
@@ -472,13 +474,33 @@ func (f *bfFinder) makeChild(parent *bfNode, node *Node, mode core.SwitchMode, e
 	return child
 }
 
+// PreferRecognized reports whether a preference string belongs to one
+// of the flavour families the goal-directed pruner understands (the
+// Describe() vocabulary: VLAN tunnel variants, plain, MPLS, GRE-IP and
+// IP-IP tunnels, with or without qualifiers). An unrecognised string
+// never matches any built-in Describe() output, so the search runs
+// undirected and finds nothing of that flavour; FindBest flags it via
+// PruneStats.PreferUnknown so callers can warn instead of reporting a
+// bare "no path".
+func PreferRecognized(prefer string) bool {
+	switch {
+	case strings.HasPrefix(prefer, "VLAN"),
+		prefer == "plain",
+		prefer == "MPLS",
+		strings.HasPrefix(prefer, "GRE-IP tunnel"),
+		strings.HasPrefix(prefer, "IP-IP tunnel"):
+		return true
+	}
+	return false
+}
+
 // flavorViable reports whether a partial path's flavour features can
 // still complete into the preferred Describe() string — the
 // goal-direction of the search. Only monotone features are consulted
 // (hasGRE, vlanUsed, group counts, plainDev and firstMPLS never revert
 // once set), so a false here is definitive; unrecognised preference
-// strings disable the filter rather than risk hiding the preferred
-// path, costing only extra expansions.
+// strings (see PreferRecognized) disable the filter rather than risk
+// hiding the preferred path, costing only extra expansions.
 func flavorViable(prefer string, fl bfFlavor) bool {
 	switch {
 	case prefer == "VLAN tunnel":

@@ -148,3 +148,72 @@ func TestFindBestMaxStack(t *testing.T) {
 		t.Error("StackCap prune counter never fired")
 	}
 }
+
+// TestPreferUnknownFlag pins the satellite fix for exotic preference
+// strings: Prefer only understands the Describe() vocabulary, and a
+// string outside it used to fall back to undirected search silently.
+// Both engines must now raise PruneStats.PreferUnknown so callers can
+// tell a typo ("GRE tunnel") from a genuinely missing path, while known
+// flavours and unpinned searches leave the flag clear.
+func TestPreferUnknownFlag(t *testing.T) {
+	n := buildTwoRouterNM(t)
+	g, err := BuildGraph(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := FindSpec{
+		From:          core.Ref(core.NameETH, "R1", "a"),
+		To:            core.Ref(core.NameETH, "R2", "f"),
+		TrafficDomain: "C1",
+	}
+
+	for _, known := range []string{
+		"plain", "MPLS", "GRE-IP tunnel", "GRE-IP tunnel over MPLS (A-B)",
+		"IP-IP tunnel", "VLAN tunnel", "VLAN tunnel (segmented)",
+		"VLAN tunnel (transparent core)",
+	} {
+		if !PreferRecognized(known) {
+			t.Errorf("PreferRecognized(%q) = false, want true", known)
+		}
+	}
+	for _, exotic := range []string{"GRE tunnel", "carrier pigeon", "mpls"} {
+		if PreferRecognized(exotic) {
+			t.Errorf("PreferRecognized(%q) = true, want false", exotic)
+		}
+	}
+
+	// Unpinned search: flag stays clear.
+	if _, stats, err := g.FindBest(spec); err != nil || stats.PreferUnknown {
+		t.Fatalf("unpinned search: PreferUnknown=%v err=%v, want false, nil", stats.PreferUnknown, err)
+	}
+
+	// A recognised flavour: flag stays clear.
+	sp := spec
+	sp.Prefer = "plain"
+	if _, stats, err := g.FindBest(sp); err != nil || stats.PreferUnknown {
+		t.Fatalf("recognised flavour: PreferUnknown=%v err=%v, want false, nil", stats.PreferUnknown, err)
+	}
+
+	// An exotic string (a plausible typo of "GRE-IP tunnel"): nil path,
+	// flag raised, and the search still ran — undirected, not aborted.
+	sp.Prefer = "GRE tunnel"
+	got, stats, err := g.FindBest(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != nil {
+		t.Fatalf("exotic flavour returned a %q path", got.Describe())
+	}
+	if !stats.PreferUnknown {
+		t.Error("exotic flavour did not raise PreferUnknown")
+	}
+	if stats.Expanded == 0 {
+		t.Error("exotic flavour expanded no states: search should run undirected")
+	}
+
+	// The legacy engine raises it too.
+	sp.Exhaustive = true
+	if _, stats, err := g.FindBest(sp); err != nil || !stats.PreferUnknown {
+		t.Fatalf("exhaustive engine: PreferUnknown=%v err=%v, want true, nil", stats.PreferUnknown, err)
+	}
+}

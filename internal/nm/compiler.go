@@ -76,7 +76,6 @@ func (n *NM) Compile(path *Path, goal Goal) ([]DeviceScript, error) {
 	pipeSeq := map[core.DeviceID]int{}
 	entryPipe := make([]*compiledPipe, len(path.Hops)) // pipe the hop was entered through
 	exitPipe := make([]*compiledPipe, len(path.Hops))
-	var pipes []*compiledPipe
 	for i := 0; i < len(path.Hops)-1; i++ {
 		hop, next := path.Hops[i], path.Hops[i+1]
 		if hop.ExitVia == nil {
@@ -109,11 +108,9 @@ func (n *NM) Compile(path *Path, goal Goal) ([]DeviceScript, error) {
 				cp.deps = append(cp.deps, core.DependencyChoice{Tradeoff: t.Key()})
 			}
 		}
-		pipes = append(pipes, cp)
 		exitPipe[i] = cp
 		entryPipe[i+1] = cp
 	}
-	_ = pipes
 
 	// 2. Identify the customer-edge IP hops (first and last members of
 	// the external IP group) for the classified rules.
@@ -196,7 +193,102 @@ func (n *NM) Compile(path *Path, goal Goal) ([]DeviceScript, error) {
 			ds.Rendered = append(ds.Rendered, renderSwitchCreate(rule))
 		}
 	}
+
+	// 4. Control-module state (§II-F). A closed internal IPv4 peer group
+	// with transit members — a tunnel whose endpoints are more than one
+	// router apart — needs reachability state the IP modules cannot
+	// derive from their own pairwise exchanges: the transit routers have
+	// no routes between the link subnets. When every member's device
+	// hosts a control module whose ProvidesState matches the IP module's
+	// switch-state dependency token, the NM compiles one pipe per
+	// adjacency (Upper = provider, Lower = IP, peers = the neighbouring
+	// provider/IP pair) and the providers flood the rest among
+	// themselves, exactly as IKE is named for IPSec's keying dependency.
+	// Without full provider coverage the group compiles as before and
+	// forwarding relies on directly connected subnets (the paper's n=3).
+	n.emitRouteProviders(path, getScript, pipeSeq)
 	return out, nil
+}
+
+// emitRouteProviders appends the control-module adjacency pipes for
+// every transit IPv4 group that has full provider coverage (see step 4
+// of Compile).
+func (n *NM) emitRouteProviders(path *Path, getScript func(core.DeviceID) *DeviceScript, pipeSeq map[core.DeviceID]int) {
+	type memberInfo struct {
+		ip, provider core.ModuleRef
+		token        string
+	}
+	for _, grp := range path.Groups {
+		if grp.External || !grp.Closed || canon(grp.Protocol) != core.NameIPv4 || len(grp.Members) < 3 {
+			continue
+		}
+		members := make([]memberInfo, 0, len(grp.Members))
+		covered := true
+		for _, hi := range grp.Members {
+			node := path.Hops[hi].Node
+			provider, token, ok := n.routeProvider(node)
+			if !ok {
+				covered = false
+				break
+			}
+			members = append(members, memberInfo{ip: node.Ref, provider: provider, token: token})
+		}
+		if !covered {
+			continue
+		}
+		for k, m := range members {
+			emitAdj := func(other memberInfo) {
+				dev := m.ip.Device
+				ds := getScript(dev)
+				id := core.PipeID(fmt.Sprintf("P%d", pipeSeq[dev]))
+				pipeSeq[dev]++
+				req := core.PipeRequest{
+					Upper: m.provider, Lower: m.ip,
+					UpperPeer: other.provider, LowerPeer: other.ip,
+					Satisfy: []core.DependencyChoice{{
+						Token: m.token, Provider: m.provider.String(),
+					}},
+				}
+				ds.Items = append(ds.Items, msg.CommandItem{Pipe: &msg.CreatePipeItem{ID: id, Req: req}})
+				ds.Rendered = append(ds.Rendered, renderPipeCreate(id, req))
+			}
+			if k > 0 {
+				emitAdj(members[k-1])
+			}
+			if k < len(members)-1 {
+				emitAdj(members[k+1])
+			}
+		}
+	}
+}
+
+// routeProvider finds a co-located control module satisfying the
+// member IP module's switch-state dependency. The match is pure token
+// equality plus mutual connectability — the NM needs no idea what the
+// state is, only who can provide it (§II-F).
+func (n *NM) routeProvider(member *Node) (core.ModuleRef, string, bool) {
+	dep := member.Abs.Switch.StateDependency
+	if dep == nil || dep.Token == "" {
+		return core.ModuleRef{}, "", false
+	}
+	info, ok := n.Device(member.Ref.Device)
+	if !ok || info == nil {
+		return core.ModuleRef{}, "", false
+	}
+	for _, abs := range info.Modules {
+		if abs.Kind != core.KindControl {
+			continue
+		}
+		if !abs.Down.CanConnect(member.Ref.Name) || !member.Abs.Up.CanConnect(abs.Ref.Name) {
+			continue
+		}
+		for _, tok := range abs.ProvidesState {
+			if tok == dep.Token {
+				return abs.Ref, tok, true
+			}
+		}
+	}
+	return core.ModuleRef{}, "", false
 }
 
 // peerFor derives a module's peer on one of its pipes from the path's

@@ -109,7 +109,7 @@ func (n *NM) compileIntent(intent Intent) (*Path, []DeviceScript, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	chosen, _, err := g.FindBest(FindSpec{
+	chosen, stats, err := g.FindBest(FindSpec{
 		From:          intent.Goal.From,
 		To:            intent.Goal.To,
 		TrafficDomain: intent.Goal.TrafficDomain,
@@ -123,6 +123,9 @@ func (n *NM) compileIntent(intent Intent) (*Path, []DeviceScript, error) {
 		return nil, nil, err
 	}
 	if chosen == nil {
+		if stats.PreferUnknown {
+			return nil, nil, fmt.Errorf("nm: intent %q: no %q path found — %q is not a path flavour the finder recognises (want a Describe() string such as \"GRE-IP tunnel\", \"MPLS\" or \"VLAN tunnel\"), so the search ran undirected", intent.Name, intent.Prefer, intent.Prefer)
+		}
 		if intent.Prefer != "" {
 			return nil, nil, fmt.Errorf("nm: intent %q: no %q path found", intent.Name, intent.Prefer)
 		}

@@ -7,6 +7,14 @@
 // messages (conveyMessage / listFieldsAndValues) since modules can only
 // talk to the NM.
 //
+// Control modules (§II-F) are matched by token equality: a data
+// module's declared state dependency (IPSec's keying material, the IP
+// module's transit routes) is satisfied by a co-located control module
+// advertising ProvidesState with the same token, and the compiler
+// emits the pipes that introduce provider peers to each other (one
+// pipe per IGP adjacency along a transit IPv4 group) without ever
+// understanding the state itself.
+//
 // Path selection is goal-directed: Graph.FindBest runs a best-first
 // search over partial paths scored by the paper's selection metric
 // (pipes instantiated, forwarding speed, hop count) with a

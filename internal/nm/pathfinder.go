@@ -160,6 +160,14 @@ type PruneStats struct {
 	StackCap       int // encapsulation deeper than MaxStack (best-first)
 	PreferMismatch int // prefixes that can no longer match Prefer (best-first)
 	Expanded       int // module entries explored (DFS visits / queue pops)
+	// PreferUnknown reports that FindSpec.Prefer was set to a string the
+	// finder does not recognise as a Describe() flavour family. The
+	// search still runs — goal-direction is disabled rather than risking
+	// hiding the preferred path — but no built-in flavour can ever match
+	// such a string, so a nil result usually means a typo (e.g.
+	// "GRE tunnel" instead of "GRE-IP tunnel") rather than a missing
+	// path. Callers surface it as a warning; see PreferRecognized.
+	PreferUnknown bool
 }
 
 // DefaultMaxPaths is the enumeration cap applied when FindSpec.MaxPaths
