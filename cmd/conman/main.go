@@ -12,19 +12,31 @@
 //	conman submit
 //	conman reconcile [-dry-run]
 //	conman withdraw [-dry-run] <vpn-c1|vpn-c2>
+//	conman daemon [-addr HOST:PORT] [-poll DUR]
+//	conman doctor [-addr HOST:PORT]
 //	conman bench [-out FILE]
 //	conman table3|table4|table5|table6|fig3|fig5|fig7|fig8|fig9|paths|all
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
+	"flag"
 	"fmt"
+	"log/slog"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"conman/internal/experiments"
 	"conman/internal/nm"
+	"conman/internal/obs"
 )
 
 func main() {
@@ -45,10 +57,21 @@ func main() {
 		return
 	case "submit", "reconcile", "withdraw":
 		if err := runStore(cmd, args); err != nil {
-			fmt.Fprintf(os.Stderr, "conman %s: %v\n", cmd, err)
+			code, lines := storeFailure(cmd, err)
+			for _, line := range lines {
+				fmt.Fprintln(os.Stderr, line)
+			}
+			os.Exit(code)
+		}
+		return
+	case "daemon":
+		if err := runDaemon(args); err != nil {
+			fmt.Fprintf(os.Stderr, "conman daemon: %v\n", err)
 			os.Exit(1)
 		}
 		return
+	case "doctor":
+		os.Exit(runDoctor(args))
 	case "bench":
 		if err := runBench(args); err != nil {
 			fmt.Fprintf(os.Stderr, "conman bench: %v\n", err)
@@ -100,6 +123,21 @@ intent store (multi-goal reconciliation, shared-core diamond demo):
                               removed — the surviving VPN still
                               delivers (-dry-run prints the withdrawal
                               plan without executing it)
+
+autonomous operation:
+  daemon [-addr HOST:PORT] [-poll DUR]
+                              run the shared-core demo under the
+                              autonomous reconciliation daemon: submit
+                              both VPN intents, converge, and keep
+                              healing faults with no operator. Serves
+                              GET /status and /metrics plus fault
+                              injection (POST /chaos/kill-wire?wire=W,
+                              /chaos/restore-wire?wire=W). -poll adds a
+                              periodic audit pass on top of the event
+                              push path (default: pure push)
+  doctor [-addr HOST:PORT]    snapshot a running daemon's /status,
+                              pretty-print intent health, and exit
+                              non-zero when it is unhealthy
 
 benchmarks:
   bench [-out FILE]           run the linear-n scale suite and emit the
@@ -337,6 +375,191 @@ func runStore(cmd string, args []string) error {
 	return nil
 }
 
+// storeFailure maps a store-command error to its exit code and stderr
+// lines. A typed ConflictError — two intents classifying the same
+// traffic to different targets — gets a distinct exit code and an
+// actionable line naming both intents, instead of disappearing into a
+// generic failure.
+func storeFailure(cmd string, err error) (code int, lines []string) {
+	lines = []string{fmt.Sprintf("conman %s: %v", cmd, err)}
+	var ce *nm.ConflictError
+	if !errors.As(err, &ce) {
+		return 1, lines
+	}
+	lines = append(lines,
+		fmt.Sprintf("conflicting intents: %q and %q (switch rules collide at %s)", ce.IntentA, ce.IntentB, ce.Module),
+		"resolution: withdraw one of them (conman withdraw <name>) or change its goal")
+	return 3, lines
+}
+
+// defaultDaemonAddr is where `conman daemon` listens and `conman
+// doctor` probes unless -addr overrides it.
+const defaultDaemonAddr = "127.0.0.1:8347"
+
+// runDaemon brings up the shared-core demo (two VLAN-tunnel VPN
+// intents over the diamond) under the autonomous reconciliation
+// daemon and serves its observability surface over HTTP until
+// SIGINT/SIGTERM. The /chaos endpoints inject and repair wire faults
+// so the healing loop can be exercised from the outside (the CI smoke
+// job does exactly that).
+func runDaemon(args []string) error {
+	fs := flag.NewFlagSet("daemon", flag.ContinueOnError)
+	addr := fs.String("addr", defaultDaemonAddr, "HTTP listen address for /status and /metrics")
+	poll := fs.Duration("poll", 0, "periodic audit interval (0 disables polling; events alone drive reconciliation)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tb, pairs, err := experiments.BuildDiamondShared(2)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	for _, p := range pairs {
+		if err := tb.NM.Submit(p.Intent("VLAN tunnel")); err != nil {
+			return err
+		}
+	}
+
+	metrics := obs.NewMetrics()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	d, stop := tb.StartDaemon(nm.DaemonConfig{
+		Poll:    *poll,
+		Logger:  logger,
+		Metrics: metrics,
+	})
+	defer stop()
+
+	mux := obs.NewMux(func() any { return d.Status() }, metrics)
+	mux.HandleFunc("/chaos/kill-wire", chaosWire(tb, false))
+	mux.HandleFunc("/chaos/restore-wire", chaosWire(tb, true))
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: mux}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	fmt.Printf("conman daemon: listening on http://%s (/status /metrics /chaos/kill-wire?wire=W)\n", ln.Addr())
+	wires := tb.Net.Media()
+	sort.Strings(wires)
+	fmt.Printf("conman daemon: wires: %s\n", strings.Join(wires, " "))
+
+	select {
+	case <-ctx.Done():
+		shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer shutCancel()
+		_ = srv.Shutdown(shutCtx)
+		fmt.Println("conman daemon: shut down")
+		return nil
+	case err := <-serveErr:
+		return err
+	}
+}
+
+// chaosWire builds the fault-injection handler: POST
+// /chaos/kill-wire?wire=A-B1 cuts a wire, /chaos/restore-wire brings
+// it back. The daemon is not told — it must notice via the carrier
+// topology re-reports, exactly like a real failure.
+func chaosWire(tb *experiments.Testbed, up bool) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		name := r.URL.Query().Get("wire")
+		if name == "" {
+			http.Error(w, "missing ?wire=<name> (see startup log for wire names)", http.StatusBadRequest)
+			return
+		}
+		if _, ok := tb.Net.Medium(name); !ok {
+			http.Error(w, fmt.Sprintf("unknown wire %q", name), http.StatusNotFound)
+			return
+		}
+		if err := tb.Net.SetMediumUp(name, up); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, "{\"wire\":%q,\"up\":%v}\n", name, up)
+	}
+}
+
+// runDoctor snapshots a running daemon's /status and renders a
+// human-readable health report; the exit code is the check result (0
+// healthy, 1 not, 2 unreachable daemon / bad flags).
+func runDoctor(args []string) int {
+	fs := flag.NewFlagSet("doctor", flag.ContinueOnError)
+	addr := fs.String("addr", defaultDaemonAddr, "daemon address to probe")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + *addr + "/status")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "conman doctor: %v\n", err)
+		return 2
+	}
+	defer resp.Body.Close()
+	var st nm.DaemonStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		fmt.Fprintf(os.Stderr, "conman doctor: decoding /status: %v\n", err)
+		return 2
+	}
+
+	dash := func(s string) string {
+		if s == "" {
+			return "-"
+		}
+		return s
+	}
+	fmt.Printf("daemon at %s\n", *addr)
+	fmt.Printf("  running:     %v\n", st.Running)
+	fmt.Printf("  converged:   %v (generation %d)\n", st.Converged, st.ConvergeGen)
+	fmt.Printf("  dirty:       %s\n", dash(strings.Join(st.Dirty, ", ")))
+	fmt.Printf("  last error:  %s\n", dash(st.LastError))
+	unreach := make([]string, len(st.Unreachable))
+	for i, dev := range st.Unreachable {
+		unreach[i] = string(dev)
+	}
+	fmt.Printf("  unreachable: %s\n", dash(strings.Join(unreach, ", ")))
+	for _, h := range st.Intents {
+		devs := make([]string, len(h.Devices))
+		for i, dev := range h.Devices {
+			devs[i] = string(dev)
+		}
+		fmt.Printf("  intent %-8s %d exclusive / %d shared components on %s\n",
+			h.Name+":", h.Exclusive, h.Shared, strings.Join(devs, ","))
+		if h.Path != "" {
+			fmt.Printf("    path: %s\n", h.Path)
+		}
+	}
+	fmt.Printf("  reconciles:  %d runs, %d errors\n",
+		counterOf(st.Metrics, "conman_reconcile_runs_total"),
+		counterOf(st.Metrics, "conman_reconcile_errors_total"))
+	fmt.Printf("  events:      %d notify / %d trigger / %d topology (push), %d poll (pull), %d dropped\n",
+		counterOf(st.Metrics, "conman_events_notify_total"),
+		counterOf(st.Metrics, "conman_events_trigger_total"),
+		counterOf(st.Metrics, "conman_events_topology_total"),
+		counterOf(st.Metrics, "conman_events_poll_total"),
+		counterOf(st.Metrics, "conman_events_dropped_total"))
+
+	if !st.Healthy() {
+		fmt.Println("UNHEALTHY")
+		return 1
+	}
+	fmt.Println("healthy")
+	return 0
+}
+
+// counterOf digs one counter out of a decoded /status metrics map;
+// JSON numbers arrive as float64.
+func counterOf(metrics map[string]any, name string) uint64 {
+	if v, ok := metrics[name].(float64); ok {
+		return uint64(v)
+	}
+	return 0
+}
+
 func countItems(scripts []nm.DeviceScript) int {
 	n := 0
 	for _, ds := range scripts {
@@ -457,6 +680,22 @@ func runBench(args []string) error {
 				vlan.Name, n, mode, best, stats.Expanded)
 		}
 	}
+	// Daemon convergence: wall clock from an injected wire cut to a
+	// re-converged store under the autonomous daemon — carrier loss,
+	// topology re-reports, debounce, reroute, verify-empty plan. This is
+	// the push-path healing latency the §II-E trigger plumbing exists to
+	// bound, gated across PRs like the other rows.
+	{
+		best, err := benchDaemonConverge(latency, 2)
+		if err != nil {
+			return err
+		}
+		results = append(results, benchResult{
+			Benchmark: "DaemonConverge", Scenario: "VLAN-shared", N: 2, Mode: "kill-wire",
+			Seconds: best.Seconds(),
+		})
+		fmt.Fprintf(os.Stderr, "DaemonConverge/VLAN-shared n=2 kill-wire: %v\n", best)
+	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
@@ -467,6 +706,51 @@ func runBench(args []string) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0644)
+}
+
+// benchDaemonConverge measures one kill-wire heal under the daemon on
+// the shared diamond and returns the best of reps runs: cut the active
+// arm after initial convergence, clock until the daemon reports a new
+// converged generation with nothing dirty.
+func benchDaemonConverge(latency time.Duration, reps int) (time.Duration, error) {
+	const wait = 30 * time.Second
+	best := time.Duration(0)
+	for rep := 0; rep < reps; rep++ {
+		el, err := func() (time.Duration, error) {
+			tb, pairs, err := experiments.BuildDiamondShared(2)
+			if err != nil {
+				return 0, err
+			}
+			defer tb.Close()
+			for _, p := range pairs {
+				if err := tb.NM.Submit(p.Intent("VLAN tunnel")); err != nil {
+					return 0, err
+				}
+			}
+			d, stop := tb.StartDaemon(nm.DaemonConfig{})
+			defer stop()
+			if err := d.WaitConverged(0, wait); err != nil {
+				return 0, err
+			}
+			tb.Hub.SetLatency(latency)
+			gen := d.ConvergeGen()
+			start := time.Now()
+			if err := tb.Net.SetMediumUp("A-B1", false); err != nil {
+				return 0, err
+			}
+			if err := d.WaitConverged(gen, wait); err != nil {
+				return 0, err
+			}
+			return time.Since(start), nil
+		}()
+		if err != nil {
+			return 0, err
+		}
+		if best == 0 || el < best {
+			best = el
+		}
+	}
+	return best, nil
 }
 
 func header(s string) {

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"conman/internal/core"
+	"conman/internal/nm"
+)
+
+// TestStoreFailureConflict pins the CLI contract for intent conflicts:
+// a (possibly wrapped) ConflictError from reconcile must exit with a
+// distinct non-zero code and name both colliding intents on stderr —
+// not vanish into the generic failure path.
+func TestStoreFailureConflict(t *testing.T) {
+	ce := &nm.ConflictError{
+		Device:  "A",
+		Module:  core.Ref(core.NameIPv4, "A", "g"),
+		IntentA: "vpn-c1", IntentB: "vpn-c2",
+	}
+	code, lines := storeFailure("reconcile", fmt.Errorf("store apply: %w", ce))
+	if code != 3 {
+		t.Errorf("conflict exit code = %d, want 3", code)
+	}
+	out := strings.Join(lines, "\n")
+	for _, want := range []string{`"vpn-c1"`, `"vpn-c2"`, "conman reconcile", "withdraw"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("conflict report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestStoreFailureGeneric: any other error keeps the plain exit-1 path.
+func TestStoreFailureGeneric(t *testing.T) {
+	code, lines := storeFailure("withdraw", fmt.Errorf("no intent %q registered", "x"))
+	if code != 1 {
+		t.Errorf("generic exit code = %d, want 1", code)
+	}
+	if len(lines) != 1 || !strings.Contains(lines[0], "conman withdraw") {
+		t.Errorf("generic report = %q", lines)
+	}
+}

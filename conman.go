@@ -184,6 +184,18 @@ type (
 	// ConflictError reports two registered intents whose rules classify
 	// the same traffic to different targets (returned by Reconcile).
 	ConflictError = nm.ConflictError
+	// Daemon is the autonomous reconciliation loop: it subscribes to
+	// the NM's event feed (notifies, §II-E dependency triggers,
+	// topology re-reports), debounces them into a dirty set, and drives
+	// Reconcile until the network converges — failures heal with no
+	// caller.
+	Daemon = nm.Daemon
+	// DaemonConfig tunes the daemon's debounce, backoff, optional audit
+	// polling, logging and metrics. Zero values select defaults.
+	DaemonConfig = nm.DaemonConfig
+	// DaemonStatus is the daemon's health snapshot (the /status
+	// document).
+	DaemonStatus = nm.DaemonStatus
 )
 
 // Testbed is a fully built simulated environment (network, devices,
@@ -196,6 +208,10 @@ type SharedPair = experiments.SharedPair
 
 // NewNM creates a network manager.
 func NewNM() *NM { return nm.New() }
+
+// NewDaemon builds an autonomous reconciliation daemon over an NM.
+// Call Run to start the control loop (Testbed.StartDaemon wraps both).
+func NewDaemon(n *NM, cfg DaemonConfig) *Daemon { return nm.NewDaemon(n, cfg) }
 
 // NewHub creates an in-process management channel.
 func NewHub() *channel.Hub { return channel.NewHub() }

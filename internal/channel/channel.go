@@ -80,6 +80,20 @@ func (h *Hub) SetLatency(d time.Duration) {
 	h.latency = d
 }
 
+// Detach closes and removes the named endpoint, modelling the
+// management channel losing a device (power failure, crash). Later
+// Sends to the name fail immediately with ErrUnknownDestination.
+func (h *Hub) Detach(name string) bool {
+	h.mu.Lock()
+	ep, ok := h.eps[name]
+	h.mu.Unlock()
+	if !ok {
+		return false
+	}
+	_ = ep.Close()
+	return true
+}
+
 // Endpoint attaches a named endpoint to the hub.
 func (h *Hub) Endpoint(name string) Endpoint {
 	h.mu.Lock()

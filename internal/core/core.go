@@ -468,6 +468,14 @@ type Abstraction struct {
 	// satisfy for data modules.
 	ProvidesState []string `json:"provides_state,omitempty"`
 
+	// HandleFields lists the low-level fields this module exports via
+	// listFieldsAndValues("pipe:<id>") that a module above may embed in
+	// its own configuration (an MPLS NHLFE key inside an IP route).
+	// A non-empty list tells the NM the exported values can change
+	// independently of the consumer — dependency maintenance (§II-E)
+	// must watch them via installTrigger and re-check embedded copies.
+	HandleFields []string `json:"handle_fields,omitempty"`
+
 	// Attributes carries coarse, generic hints usable by the NM's path
 	// selector without protocol knowledge, e.g. "forwarding" => "fast"
 	// for MPLS (the paper's NM prefers the MPLS path because "the MPLS
@@ -528,6 +536,7 @@ func (a Abstraction) Clone() Abstraction {
 		b.Security.StateDependency = &d
 	}
 	b.ProvidesState = append([]string(nil), a.ProvidesState...)
+	b.HandleFields = append([]string(nil), a.HandleFields...)
 	if a.Attributes != nil {
 		b.Attributes = make(map[string]string, len(a.Attributes))
 		for k, v := range a.Attributes {
@@ -596,6 +605,37 @@ type SwitchRuleState struct {
 	// change after apply surfaces as drift instead of silently diverging.
 	MatchResolved string `json:"match_resolved,omitempty"`
 	ViaResolved   string `json:"via_resolved,omitempty"`
+	// HandleResolved is the canonical form (CanonicalHandle) of the
+	// low-level handle fields another module exported and this rule
+	// embedded at install time (e.g. the MPLS NHLFE key an IP route
+	// points at). Reconciliation compares it against the provider's
+	// *current* fields: a mismatch means the provider churned under the
+	// rule and the embedded copy is stale (§II-E), so the rule must be
+	// reinstalled even though its abstract form still matches.
+	HandleResolved string `json:"handle_resolved,omitempty"`
+}
+
+// CanonicalHandle renders exported low-level fields in a canonical,
+// comparable form: "k1=v1;k2=v2" with keys sorted. An empty map is "".
+func CanonicalHandle(fields map[string]string) string {
+	if len(fields) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(fields))
+	for k := range fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(fields[k])
+	}
+	return b.String()
 }
 
 // FilterRuleState is an installed filter rule as reported by showActual.

@@ -46,6 +46,11 @@ func New(net *netsim.Network, id core.DeviceID, role kernel.Role, ports ...strin
 		k.AddPhysical(p)
 	}
 	d.MA = NewMA(id, k, d.portReports)
+	// Link-state interrupt: a wire going up or down re-reports topology
+	// to the NM unprompted, so reconciliation can react without polling
+	// (§III-C.2's failure detection). Errors are ignored — the channel
+	// may not be attached yet, or the NM may be gone.
+	net.OnCarrierChange(id, func() { _ = d.MA.ReportTopology() })
 	return d, nil
 }
 

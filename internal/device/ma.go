@@ -432,9 +432,21 @@ func (a *MA) handle(env msg.Envelope) {
 			return
 		}
 		a.mu.Lock()
-		a.trigSeq++
-		id := fmt.Sprintf("%s-t%d", a.dev, a.trigSeq)
-		a.triggers = append(a.triggers, trigger{ID: id, Module: body.Module, Component: body.Component})
+		// Installing the same watch twice is idempotent: the NM
+		// re-requests triggers on every Apply, and duplicates would
+		// multiply every fired event.
+		var id string
+		for _, t := range a.triggers {
+			if t.Module == body.Module && t.Component == body.Component {
+				id = t.ID
+				break
+			}
+		}
+		if id == "" {
+			a.trigSeq++
+			id = fmt.Sprintf("%s-t%d", a.dev, a.trigSeq)
+			a.triggers = append(a.triggers, trigger{ID: id, Module: body.Module, Component: body.Component})
+		}
 		a.mu.Unlock()
 		a.reply(env, msg.TypeInstallTriggerResp, msg.InstallTriggerResp{TriggerID: id})
 
@@ -641,6 +653,9 @@ func (a *MA) deleteComponent(req core.DeleteRequest) error {
 		if lok {
 			_ = lower.PipeDeleted(p, SideLower)
 		}
+		// Unsolicited event so the NM learns about deletions it did not
+		// itself order (a killed pipe heals autonomously, §II-E).
+		_ = a.Notify(p.Lower, "pipe-deleted", string(p.ID))
 		return nil
 	case core.ComponentSwitchRule, core.ComponentFilterRule:
 		// Modules own rule teardown.

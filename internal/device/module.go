@@ -121,6 +121,12 @@ type SwitchRuleInstance struct {
 	Rule          core.SwitchRule
 	MatchResolved string // e.g. "10.0.2.0/24" for dst-domain:C1-S2
 	ViaResolved   string // e.g. "192.168.0.1" for S1-gateway
+	// HandleResolved is set by the installing module when the rule
+	// embeds low-level fields exported by the module below
+	// (core.CanonicalHandle of the consumed listFieldsAndValues map);
+	// it is reported back through showActual so the NM can detect the
+	// embedded copy going stale (§II-E).
+	HandleResolved string
 }
 
 // FilterRuleInstance is an installed abstract filter rule.

@@ -86,7 +86,7 @@ func TestFilterResolutionAndDependencyMaintenance(t *testing.T) {
 		t.Fatal(err)
 	}
 	reResolved := make(chan struct{}, 1)
-	tb.NM.OnTrigger = func(tr msg.Trigger) {
+	tb.NM.SetOnTrigger(func(tr msg.Trigger) {
 		// The NM's dependency tracker re-resolves the dependent filter.
 		k, _ := tb.Devices["C"].MA.LocalModule("k")
 		if ipMod, ok := k.(*modules.IP); ok {
@@ -94,7 +94,7 @@ func TestFilterResolutionAndDependencyMaintenance(t *testing.T) {
 				reResolved <- struct{}{}
 			}
 		}
-	}
+	})
 
 	// The application moves to port 593 — without maintenance the old
 	// filter would now miss it.

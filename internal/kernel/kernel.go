@@ -686,6 +686,16 @@ func (k *Kernel) DelNHLFE(key int) {
 	delete(k.mpls.nhlfe, key)
 }
 
+// HasNHLFE reports whether an NHLFE with the given key exists. Routes
+// referencing a missing key silently drop traffic (the stale-handle
+// black hole of §II-E), so consistency checks want this visible.
+func (k *Kernel) HasNHLFE(key int) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	_, ok := k.mpls.nhlfe[key]
+	return ok
+}
+
 // RegisterUDP binds a handler to a local UDP port.
 func (k *Kernel) RegisterUDP(port uint16, h UDPHandler) {
 	k.mu.Lock()

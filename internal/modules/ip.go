@@ -191,6 +191,7 @@ func (m *IP) Actual() core.ModuleState {
 		st.SwitchRules = append(st.SwitchRules, core.SwitchRuleState{
 			ID: r.ID, From: r.Rule.From, To: r.Rule.To, Match: r.Rule.Match, Via: r.Rule.Via,
 			MatchResolved: r.MatchResolved, ViaResolved: r.ViaResolved,
+			HandleResolved: r.HandleResolved,
 		})
 	}
 	for _, f := range m.filters {
@@ -460,6 +461,11 @@ func (m *IP) installClassifiedIngress(r *device.SwitchRuleInstance, from, to *de
 	if err != nil || (handle["dev"] == "" && handle["mpls-key"] == "") {
 		return nil, device.ErrPending
 	}
+	// Record the low-level handle this rule embeds (the MPLS NHLFE key,
+	// the tunnel interface) so showActual exposes it and the NM can
+	// detect the embedded copy going stale when the provider churns
+	// (§II-E dependency maintenance).
+	r.HandleResolved = core.CanonicalHandle(handle)
 	k := m.Svc.Kernel()
 	// A virtual router forwards by definition (Fig 7a/8a command
 	// "echo 1 > /proc/sys/net/ipv4/ip_forward").

@@ -104,6 +104,12 @@ func (m *MPLS) Abstraction() core.Abstraction {
 			StateSource: core.StateLocal,
 		},
 		PerfReporting: []string{"rx-packets/pipe", "tx-packets/pipe"},
+		// The ingress NHLFE handle exposed to the module above via
+		// listFieldsAndValues("pipe:<up>"). Advertising it tells the NM
+		// that consumers embed values that can churn independently of
+		// the consuming rule, so §II-E dependency maintenance must
+		// watch them (installTrigger) and re-check embedded copies.
+		HandleFields: []string{"mpls-key", "via"},
 		// The path selector prefers MPLS because the abstraction
 		// advertises good forwarding bandwidth (§III-C.1).
 		Attributes: map[string]string{"forwarding": "fast"},
@@ -461,7 +467,9 @@ func (m *MPLS) installEdge(r *device.SwitchRuleInstance, up, dn *device.Pipe) er
 		return err
 	}
 	inLabel, ingressKey := n.MyInLabel, extractNHLFEKey(out)
+	upComponent := "pipe:" + string(up.ID)
 	m.mu.Lock()
+	handleChanged := m.pushKey != ingressKey || m.pushVia != n.PeerLinkAddr.String()
 	m.pushKey = ingressKey
 	m.pushVia = n.PeerLinkAddr.String()
 	m.rules = append(m.rules, r)
@@ -470,10 +478,17 @@ func (m *MPLS) installEdge(r *device.SwitchRuleInstance, up, dn *device.Pipe) er
 		k.DelNHLFE(nhlfeKeyInt(egressKey))
 		k.DelNHLFE(nhlfeKeyInt(ingressKey))
 		m.mu.Lock()
-		if m.pushKey == ingressKey {
+		cleared := m.pushKey == ingressKey
+		if cleared {
 			m.pushKey, m.pushVia = "", ""
 		}
 		m.mu.Unlock()
+		if cleared {
+			// The exported handle is gone: fire §II-E triggers so the
+			// NM learns any embedded copy (an IP route's NHLFE key) is
+			// now dangling.
+			m.Svc.FieldsChanged(m.Ref(), upComponent, map[string]string{})
+		}
 	}
 	notify := m.responded && !m.initiatedAny && !m.notified
 	if notify {
@@ -487,7 +502,16 @@ func (m *MPLS) installEdge(r *device.SwitchRuleInstance, up, dn *device.Pipe) er
 		// paper's Table VI accounting for MPLS/VLAN.
 		_ = m.Svc.Notify(m.Ref(), "lsp-established", "egress configured")
 	}
-	m.Svc.Kick()
+	if handleChanged {
+		// Dependency maintenance (§II-E): the ingress handle consumers
+		// embed (listFields("pipe:<up>")) has new values; fire any
+		// installed triggers. FieldsChanged also kicks pending rules.
+		m.Svc.FieldsChanged(m.Ref(), upComponent, map[string]string{
+			"mpls-key": ingressKey, "via": n.PeerLinkAddr.String(),
+		})
+	} else {
+		m.Svc.Kick()
+	}
 	return nil
 }
 

@@ -84,6 +84,7 @@ type Network struct {
 	handlers map[core.DeviceID]FrameHandler
 	ports    map[PortID]*Port
 	media    map[string]*Medium
+	carrier  map[core.DeviceID]func()
 	queue    []delivery
 	pumping  bool
 	seq      int
@@ -107,6 +108,7 @@ func New() *Network {
 		handlers: make(map[core.DeviceID]FrameHandler),
 		ports:    make(map[PortID]*Port),
 		media:    make(map[string]*Medium),
+		carrier:  make(map[core.DeviceID]func()),
 		captures: make(map[string][]Capture),
 		capture:  make(map[string]bool),
 		MaxSteps: 1_000_000,
@@ -198,16 +200,42 @@ func (n *Network) Connect(name string, ids ...PortID) (*Medium, error) {
 }
 
 // SetMediumUp raises or cuts a medium (the "wire getting cut" fault of
-// paper §III-C.2).
+// paper §III-C.2). Devices attached to the medium that registered a
+// carrier callback are notified (outside the network lock) when the
+// state actually changed — the NIC's link-state interrupt.
 func (n *Network) SetMediumUp(name string, up bool) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	m, ok := n.media[name]
 	if !ok {
+		n.mu.Unlock()
 		return fmt.Errorf("netsim: no medium %q", name)
 	}
+	changed := m.up != up
 	m.up = up
+	var notify []func()
+	if changed {
+		seen := make(map[core.DeviceID]bool)
+		for _, p := range m.ports {
+			if fn := n.carrier[p.ID.Device]; fn != nil && !seen[p.ID.Device] {
+				seen[p.ID.Device] = true
+				notify = append(notify, fn)
+			}
+		}
+	}
+	n.mu.Unlock()
+	for _, fn := range notify {
+		fn()
+	}
 	return nil
+}
+
+// OnCarrierChange registers a callback invoked whenever the up/down
+// state of a medium touching one of the device's ports flips. Devices
+// use it to re-report topology to the NM without being polled.
+func (n *Network) OnCarrierChange(dev core.DeviceID, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.carrier[dev] = fn
 }
 
 // Medium returns a medium by name.

@@ -1,0 +1,405 @@
+package nm
+
+// The autonomous reconciliation daemon (ROADMAP item 1): a control
+// loop that subscribes to the NM's event feed — module notifications,
+// dependency triggers (§II-E), topology re-reports — debounces them
+// into a dirty set, and drives Reconcile with retry/backoff until the
+// network converges on the registered intents. A cut wire, killed
+// pipe or killed device heals with no caller: the failure surfaces as
+// events, the daemon reconciles. The loop is level-triggered — events
+// only say *that* something changed; every pass re-derives the diff
+// from observed state — so lost or coalesced events cost at most an
+// extra pass (or one poll interval), never correctness.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"conman/internal/core"
+	"conman/internal/obs"
+)
+
+// DaemonConfig tunes the control loop. Zero values select defaults.
+type DaemonConfig struct {
+	// Debounce is how long the loop waits after an event before
+	// reconciling, coalescing bursts (a link failure produces one
+	// topology re-report per adjacent device). Default 10ms.
+	Debounce time.Duration
+	// Backoff is the initial retry delay after a failed reconcile; it
+	// doubles per consecutive failure up to MaxBackoff. Defaults 50ms
+	// and 2s.
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// Poll, when positive, adds a periodic audit pass so drift that
+	// produced no event is still caught (the pull side of push-vs-poll;
+	// the event path is the push side). Default 0: pure push.
+	Poll time.Duration
+	// Buffer sizes the event subscription channel.
+	Buffer int
+	// Logger receives structured reconcile logs with per-reconcile
+	// trace IDs; nil discards them.
+	Logger *slog.Logger
+	// Metrics is the registry the daemon publishes into; nil creates a
+	// private one (see Daemon.Metrics).
+	Metrics *obs.Metrics
+}
+
+func (c *DaemonConfig) defaults() {
+	if c.Debounce <= 0 {
+		c.Debounce = 10 * time.Millisecond
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 2 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewMetrics()
+	}
+}
+
+// IntentHealth is one intent's slice of the daemon's status snapshot.
+type IntentHealth struct {
+	Name      string          `json:"name"`
+	Path      string          `json:"path,omitempty"`
+	Devices   []core.DeviceID `json:"devices"`
+	Exclusive int             `json:"exclusive"`
+	Shared    int             `json:"shared"`
+}
+
+// DaemonStatus is the daemon's /status document.
+type DaemonStatus struct {
+	Running       bool            `json:"running"`
+	Converged     bool            `json:"converged"`
+	ConvergeGen   uint64          `json:"converge_gen"`
+	Dirty         []string        `json:"dirty,omitempty"`
+	PendingEvents int             `json:"pending_events"`
+	LastError     string          `json:"last_error,omitempty"`
+	Unreachable   []core.DeviceID `json:"unreachable,omitempty"`
+	Intents       []IntentHealth  `json:"intents"`
+	Metrics       map[string]any  `json:"metrics"`
+}
+
+// Healthy reports whether every intent is reconciled and reachable.
+func (s DaemonStatus) Healthy() bool {
+	return s.Running && s.Converged && s.LastError == "" && len(s.Dirty) == 0
+}
+
+// Daemon is the autonomous reconciliation loop over one NM.
+type Daemon struct {
+	nm  *NM
+	cfg DaemonConfig
+	log *slog.Logger
+
+	mReconcile    *obs.Histogram
+	mTrigConverge *obs.Histogram
+	cRuns         *obs.Counter
+	cErrors       *obs.Counter
+	cInstalled    *obs.Counter
+	cWithdrawn    *obs.Counter
+	cNotify       *obs.Counter
+	cTrigger      *obs.Counter
+	cTopology     *obs.Counter
+	cPoll         *obs.Counter
+	cDropped      *obs.Counter
+
+	mu          sync.Mutex
+	running     bool
+	events      <-chan Event
+	dirty       map[string]bool
+	dirtySince  time.Time
+	reconciling bool
+	converged   bool
+	convergeGen uint64
+	lastErr     error
+	lastViews   []IntentView
+	unreachable []core.DeviceID
+	traceSeq    uint64
+	lastDropped uint64
+}
+
+// NewDaemon builds a daemon over the NM. Call Run to start it.
+func NewDaemon(n *NM, cfg DaemonConfig) *Daemon {
+	cfg.defaults()
+	m := cfg.Metrics
+	return &Daemon{
+		nm:  n,
+		cfg: cfg,
+		log: cfg.Logger,
+		mReconcile: m.Histogram("conman_reconcile_latency_seconds",
+			"Wall-clock latency of one Reconcile pass"),
+		mTrigConverge: m.Histogram("conman_trigger_to_converged_seconds",
+			"Time from the first event of a dirty epoch to convergence"),
+		cRuns:   m.Counter("conman_reconcile_runs_total", "Reconcile passes executed"),
+		cErrors: m.Counter("conman_reconcile_errors_total", "Reconcile passes that failed"),
+		cInstalled: m.Counter("conman_components_installed_total",
+			"Components (pipes, routes/switch rules) created by the daemon"),
+		cWithdrawn: m.Counter("conman_components_withdrawn_total",
+			"Components deleted by the daemon"),
+		cNotify:   m.Counter("conman_events_notify_total", "Module notifications processed (push)"),
+		cTrigger:  m.Counter("conman_events_trigger_total", "Dependency triggers processed (push)"),
+		cTopology: m.Counter("conman_events_topology_total", "Topology changes processed (push)"),
+		cPoll:     m.Counter("conman_events_poll_total", "Periodic audit passes (pull)"),
+		cDropped:  m.Counter("conman_events_dropped_total", "Events dropped on a full subscriber buffer"),
+		dirty:     make(map[string]bool),
+	}
+}
+
+// Metrics returns the registry the daemon publishes into.
+func (d *Daemon) Metrics() *obs.Metrics { return d.cfg.Metrics }
+
+// Run executes the control loop until ctx is cancelled. It performs
+// one initial reconcile (establishing convergence on the current
+// store), then reacts to events.
+func (d *Daemon) Run(ctx context.Context) error {
+	events, cancel := d.nm.Subscribe(d.cfg.Buffer)
+	defer cancel()
+	d.mu.Lock()
+	d.events = events
+	d.running = true
+	d.mu.Unlock()
+	defer func() {
+		d.mu.Lock()
+		d.running = false
+		d.mu.Unlock()
+	}()
+
+	var pollC <-chan time.Time
+	if d.cfg.Poll > 0 {
+		t := time.NewTicker(d.cfg.Poll)
+		defer t.Stop()
+		pollC = t.C
+	}
+	backoff := d.cfg.Backoff
+	// Initial pass, immediately.
+	wake := time.After(0)
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case ev := <-events:
+			d.noteEvent(ev)
+			wake = time.After(d.cfg.Debounce)
+		case <-pollC:
+			d.cPoll.Inc()
+			d.markDirty("*")
+			wake = time.After(d.cfg.Debounce)
+		case <-wake:
+			wake = nil
+			if d.reconcileEpoch() {
+				backoff = d.cfg.Backoff
+			} else {
+				d.log.Info("retry scheduled", "backoff", backoff)
+				wake = time.After(backoff)
+				backoff *= 2
+				if backoff > d.cfg.MaxBackoff {
+					backoff = d.cfg.MaxBackoff
+				}
+			}
+		}
+	}
+}
+
+// noteEvent counts an event and marks the dirty set.
+func (d *Daemon) noteEvent(ev Event) {
+	switch ev.Kind {
+	case EventNotify:
+		d.cNotify.Inc()
+	case EventTrigger:
+		d.cTrigger.Inc()
+	case EventTopology:
+		d.cTopology.Inc()
+	}
+	switch ev.Kind {
+	case EventTopology:
+		// A changed physical view can re-route any intent.
+		d.markDirty("*")
+	default:
+		// Notifies and triggers implicate the intents whose applied
+		// configuration touches the reporting device (the §II-E
+		// dependents); none known means the event predates our records
+		// — dirty everything.
+		names := d.nm.IntentsOn(ev.Device)
+		if len(names) == 0 {
+			d.markDirty("*")
+			return
+		}
+		for _, name := range names {
+			d.markDirty(name)
+		}
+	}
+}
+
+func (d *Daemon) markDirty(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.dirtySince.IsZero() {
+		d.dirtySince = time.Now()
+	}
+	d.dirty[name] = true
+	d.converged = false
+}
+
+// reconcileEpoch runs Reconcile until the plan is empty (bounded),
+// reporting false when the epoch must be retried with backoff.
+func (d *Daemon) reconcileEpoch() bool {
+	d.mu.Lock()
+	dirty := d.dirty
+	d.dirty = make(map[string]bool)
+	since := d.dirtySince
+	d.dirtySince = time.Time{}
+	d.reconciling = true
+	d.traceSeq++
+	trace := fmt.Sprintf("r-%06d", d.traceSeq)
+	d.mu.Unlock()
+
+	log := d.log.With("trace", trace)
+	log.Debug("reconcile epoch", "dirty", sortedKeys(dirty))
+
+	fail := func(err error) bool {
+		d.cErrors.Inc()
+		log.Warn("reconcile failed", "err", err)
+		d.mu.Lock()
+		d.lastErr = err
+		for k := range dirty {
+			d.dirty[k] = true
+		}
+		if d.dirtySince.IsZero() {
+			d.dirtySince = since
+		}
+		d.reconciling = false
+		d.mu.Unlock()
+		return false
+	}
+
+	for iter := 0; ; iter++ {
+		t0 := time.Now()
+		plan, err := d.nm.Reconcile()
+		d.cRuns.Inc()
+		d.mReconcile.Observe(time.Since(t0).Seconds())
+		if delta := d.nm.EventsDropped() - d.lastDropped; delta > 0 {
+			d.cDropped.Add(delta)
+			d.lastDropped += delta
+		}
+		if err != nil {
+			return fail(err)
+		}
+		creates, deletes := planCounts(plan)
+		d.cInstalled.Add(uint64(creates))
+		d.cWithdrawn.Add(uint64(deletes))
+		d.mu.Lock()
+		d.lastViews = plan.Views
+		d.unreachable = plan.Unreachable
+		d.mu.Unlock()
+		if plan.Empty() {
+			if !since.IsZero() {
+				d.mTrigConverge.Observe(time.Since(since).Seconds())
+			}
+			log.Info("converged", "iterations", iter+1, "unreachable", len(plan.Unreachable))
+			d.mu.Lock()
+			d.lastErr = nil
+			d.converged = true
+			d.convergeGen++
+			d.reconciling = false
+			d.mu.Unlock()
+			return true
+		}
+		log.Info("reconciled", "creates", creates, "deletes", deletes, "iteration", iter+1)
+		if iter >= 7 {
+			return fail(fmt.Errorf("nm: daemon: no convergence after %d passes", iter+1))
+		}
+	}
+}
+
+func planCounts(plan *StorePlan) (creates, deletes int) {
+	for _, ds := range plan.Creates {
+		creates += len(ds.Items)
+	}
+	for _, ds := range plan.Deletes {
+		deletes += len(ds.Items)
+	}
+	return creates, deletes
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Status snapshots the daemon for /status and conman doctor.
+func (d *Daemon) Status() DaemonStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	s := DaemonStatus{
+		Running:     d.running,
+		Converged:   d.converged,
+		ConvergeGen: d.convergeGen,
+		Dirty:       sortedKeys(d.dirty),
+		Unreachable: append([]core.DeviceID(nil), d.unreachable...),
+		Metrics:     d.cfg.Metrics.Snapshot(),
+	}
+	if d.events != nil {
+		s.PendingEvents = len(d.events)
+	}
+	if d.lastErr != nil {
+		s.LastError = d.lastErr.Error()
+	}
+	for _, v := range d.lastViews {
+		h := IntentHealth{
+			Name:      v.Intent.Name,
+			Devices:   append([]core.DeviceID(nil), v.Devices...),
+			Exclusive: v.Exclusive,
+			Shared:    v.Shared,
+		}
+		if v.Path != nil {
+			h.Path = v.Path.Describe()
+		}
+		s.Intents = append(s.Intents, h)
+	}
+	return s
+}
+
+// ConvergeGen returns the current convergence generation; it bumps on
+// every convergence, so callers can wait for one *after* an injected
+// fault.
+func (d *Daemon) ConvergeGen() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.convergeGen
+}
+
+// WaitConverged blocks until the daemon is idle — converged with
+// generation > after, nothing dirty, no buffered events — or the
+// timeout expires.
+func (d *Daemon) WaitConverged(after uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		d.mu.Lock()
+		idle := d.converged && d.convergeGen > after && !d.reconciling &&
+			len(d.dirty) == 0 && (d.events == nil || len(d.events) == 0)
+		gen := d.convergeGen
+		errLast := d.lastErr
+		d.mu.Unlock()
+		if idle {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("nm: daemon: not converged after %v (gen %d > %d wanted, last error: %v)",
+				timeout, gen, after, errLast)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

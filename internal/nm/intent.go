@@ -52,12 +52,23 @@ type Plan struct {
 	// InPlace counts desired components that were already configured and
 	// therefore appear in neither batch.
 	InPlace int
+	// Unreachable lists stranded devices (previously touched, off the
+	// current path) that could not be observed — killed or partitioned.
+	// Their stale state cannot be pruned this pass; the NM remembers
+	// them and retries when they answer again.
+	Unreachable []core.DeviceID
 
 	// touched is the device set of the intent's current path; a
 	// successful Apply records it so later Plans prune devices the path
 	// migrated away from. Destroy plans clear the record instead.
 	touched []core.DeviceID
 	destroy bool
+	// pruned lists stranded devices that were observed (and cleaned)
+	// this pass; Apply clears their stale mark.
+	pruned []core.DeviceID
+	// handleDeps are the (provider, component) pairs desired rules embed
+	// resolved handles from; Apply installs triggers for them (§II-E).
+	handleDeps []handleDep
 }
 
 // Empty reports whether applying the plan would send no commands.
@@ -185,7 +196,11 @@ type obsRule struct {
 	// and must be replaced even though its abstract form still matches.
 	matchResolved string
 	viaResolved   string
-	used          bool
+	// handle is the low-level handle the rule embeds from the module
+	// below its To pipe (core.CanonicalHandle form), as the installing
+	// module reported it; stale handles force replacement (§II-E).
+	handle string
+	used   bool
 }
 
 func classifierKey(c *core.Classifier) string {
@@ -196,12 +211,21 @@ func classifierKey(c *core.Classifier) string {
 }
 
 // observe fetches showActual for every device and condenses it into the
-// diffable view. Devices are queried on the NM's worker pool.
-func (n *NM) observe(devs []core.DeviceID) (map[core.DeviceID]*observed, error) {
+// diffable view. Devices are queried on the NM's worker pool. Devices in
+// the optional set (stranded: previously touched, off every current
+// path) may fail to answer — a killed device must not wedge
+// reconciliation of the survivors — and are returned as unreachable
+// with no entry in the map.
+func (n *NM) observe(devs []core.DeviceID, optional map[core.DeviceID]bool) (map[core.DeviceID]*observed, []core.DeviceID, error) {
 	out := make([]*observed, len(devs))
+	unreach := make([]bool, len(devs))
 	err := n.forEach(len(devs), func(i int) error {
 		states, err := n.ShowActual(devs[i])
 		if err != nil {
+			if optional[devs[i]] {
+				unreach[i] = true
+				return nil
+			}
 			return err
 		}
 		o := &observed{pipes: make(map[core.PipeID]obsPipe)}
@@ -229,6 +253,7 @@ func (n *NM) observe(devs []core.DeviceID) (map[core.DeviceID]*observed, error) 
 					from: r.From, to: r.To,
 					match: classifierKey(r.Match), via: r.Via,
 					matchResolved: r.MatchResolved, viaResolved: r.ViaResolved,
+					handle: r.HandleResolved,
 				})
 			}
 		}
@@ -236,13 +261,31 @@ func (n *NM) observe(devs []core.DeviceID) (map[core.DeviceID]*observed, error) 
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	m := make(map[core.DeviceID]*observed, len(devs))
+	var unreachable []core.DeviceID
 	for i, d := range devs {
+		if unreach[i] {
+			unreachable = append(unreachable, d)
+			continue
+		}
 		m[d] = out[i]
 	}
-	return m, nil
+	sort.Slice(unreachable, func(i, j int) bool { return unreachable[i] < unreachable[j] })
+	return m, unreachable, nil
+}
+
+// optionalSet builds the observe() optional set from a stranded list.
+func optionalSet(stranded []core.DeviceID) map[core.DeviceID]bool {
+	if len(stranded) == 0 {
+		return nil
+	}
+	set := make(map[core.DeviceID]bool, len(stranded))
+	for _, d := range stranded {
+		set[d] = true
+	}
+	return set
 }
 
 func scriptDevices(scripts []DeviceScript) []core.DeviceID {
@@ -268,6 +311,15 @@ func (n *NM) strandedDevices(intentName string, current []core.DeviceID) []core.
 	for d := range n.intentDevs[intentName] {
 		if !cur[d] {
 			out = append(out, d)
+			cur[d] = true
+		}
+	}
+	// Devices that were unreachable when a previous pass wanted to prune
+	// them: keep trying until they answer.
+	for d := range n.staleDevs {
+		if !cur[d] {
+			out = append(out, d)
+			cur[d] = true
 		}
 	}
 	n.mu.Unlock()
@@ -345,17 +397,22 @@ func (n *NM) Plan(intent Intent) (*Plan, error) {
 	}
 	devs := scriptDevices(desired)
 	stranded := n.strandedDevices(intent.Name, devs)
-	obs, err := n.observe(append(append([]core.DeviceID(nil), devs...), stranded...))
+	obs, unreachable, err := n.observe(append(append([]core.DeviceID(nil), devs...), stranded...), optionalSet(stranded))
 	if err != nil {
 		return nil, err
 	}
 
-	plan := &Plan{Intent: intent, Path: path, touched: devs}
+	plan := &Plan{Intent: intent, Path: path, touched: devs, Unreachable: unreachable}
 	// Devices a previous Apply of this intent touched but the current
 	// path avoids (e.g. rerouted around a failure): everything on them
-	// is stale.
+	// is stale. Unreachable ones are skipped and remembered.
 	for _, dev := range stranded {
-		if del := pruneAll(dev, obs[dev]); len(del.Items) > 0 {
+		o := obs[dev]
+		if o == nil {
+			continue
+		}
+		plan.pruned = append(plan.pruned, dev)
+		if del := pruneAll(dev, o); len(del.Items) > 0 {
 			plan.Deletes = append(plan.Deletes, del)
 		}
 	}
@@ -370,12 +427,14 @@ func (n *NM) Plan(intent Intent) (*Plan, error) {
 		// recreated. Rules referencing churned pipes cannot be kept.
 		churned := map[core.PipeID]bool{}
 		desiredPipes := map[core.PipeID]bool{}
+		lowerOf := map[core.PipeID]core.ModuleRef{}
 		for _, item := range ds.Items {
 			if item.Pipe == nil {
 				continue
 			}
 			id := item.Pipe.ID
 			desiredPipes[id] = true
+			lowerOf[id] = item.Pipe.Req.Lower
 			got, exists := o.pipes[id]
 			switch {
 			case exists && got.matches(item.Pipe.Req):
@@ -428,6 +487,15 @@ func (n *NM) Plan(intent Intent) (*Plan, error) {
 				}
 			case item.Switch != nil:
 				r := item.Switch.Rule
+				// The rule consumes exported handles when it steers into a
+				// pipe whose lower module is a *different* module that
+				// advertises HandleFields (an egress rule's To pipe has the
+				// rule's own module below it — nothing is embedded).
+				prov, hasProv := lowerOf[r.To]
+				exports := hasProv && prov != r.Module && n.handleExporter(prov)
+				if exports {
+					plan.handleDeps = append(plan.handleDeps, handleDep{prov, "pipe:" + string(r.To)})
+				}
 				kept := false
 				if !churned[r.From] && !churned[r.To] {
 					for j := range o.rules {
@@ -442,6 +510,13 @@ func (n *NM) Plan(intent Intent) (*Plan, error) {
 						// knowledge changed since install — replace.
 						if or.matchResolved != item.Switch.MatchResolved ||
 							or.viaResolved != item.Switch.ViaResolved {
+							continue
+						}
+						// Stale embedded handle (§II-E): the module below
+						// To regenerated its exported fields (pipe churn
+						// renumbered an NHLFE); the rule's embedded copy
+						// points at dead state — replace.
+						if exports && !n.handleFresh(prov, r.To, or.handle) {
 							continue
 						}
 						or.used = true
@@ -499,13 +574,18 @@ func (n *NM) PlanDestroy(intent Intent) (*Plan, error) {
 	}
 	devs := scriptDevices(desired)
 	stranded := n.strandedDevices(intent.Name, devs)
-	obs, err := n.observe(append(append([]core.DeviceID(nil), devs...), stranded...))
+	obs, unreachable, err := n.observe(append(append([]core.DeviceID(nil), devs...), stranded...), optionalSet(stranded))
 	if err != nil {
 		return nil, err
 	}
-	plan := &Plan{Intent: intent, Path: path, destroy: true}
+	plan := &Plan{Intent: intent, Path: path, destroy: true, Unreachable: unreachable}
 	for _, dev := range stranded {
-		if del := pruneAll(dev, obs[dev]); len(del.Items) > 0 {
+		o := obs[dev]
+		if o == nil {
+			continue
+		}
+		plan.pruned = append(plan.pruned, dev)
+		if del := pruneAll(dev, o); len(del.Items) > 0 {
 			plan.Deletes = append(plan.Deletes, del)
 		}
 	}
@@ -574,6 +654,12 @@ func (n *NM) Apply(plan *Plan) error {
 			return fmt.Errorf("nm: apply %q: %w", plan.Intent.Name, err)
 		}
 	}
+	// Dependency maintenance (§II-E): watch every provider component a
+	// desired rule embeds handles from, so churn fires a Trigger.
+	if err := n.installHandleTriggers(plan.handleDeps); err != nil {
+		return fmt.Errorf("nm: apply %q (triggers): %w", plan.Intent.Name, err)
+	}
+	n.markStale(plan.pruned, plan.Unreachable)
 	n.recordIntent(plan)
 	return nil
 }

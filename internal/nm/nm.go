@@ -157,16 +157,37 @@ type NM struct {
 	store      map[string]Intent
 	storeOrder []string
 
+	// notifies/triggers retain the most recent unsolicited events for
+	// inspection (bounded to eventRetain; live consumers use Subscribe).
 	notifies []msg.Notify
 	triggers []msg.Trigger
+
+	// subs are the live event subscribers (Subscribe); publishes that
+	// find a subscriber's buffer full are counted in eventsDropped
+	// rather than blocking the management channel.
+	subs          map[uint64]chan Event
+	subSeq        uint64
+	eventSeq      uint64
+	eventsDropped uint64
+
+	// staleDevs are devices that were unreachable while holding stale
+	// configuration; they are re-checked (and pruned) once reachable.
+	staleDevs map[core.DeviceID]bool
+
+	// installedTriggers dedups the NM's own InstallTrigger calls per
+	// (module, component), so repeated reconciles stay quiet.
+	installedTriggers map[string]bool
 
 	logEnabled bool
 	msgLog     []logEntry
 	logSeq     map[string]uint64
 
-	// OnTrigger, when set, is invoked for dependency-maintenance
-	// triggers (§II-E).
-	OnTrigger func(t msg.Trigger)
+	// onTrigger, when set via SetOnTrigger, is invoked for
+	// dependency-maintenance triggers (§II-E). It has its own lock so
+	// registration waits out any in-flight dispatch instead of racing
+	// with it.
+	triggerMu sync.RWMutex
+	onTrigger func(t msg.Trigger)
 
 	// CallTimeout bounds request/response calls.
 	CallTimeout time.Duration
@@ -184,17 +205,27 @@ type NM struct {
 	Workers int
 }
 
+// relayIDBase keeps relay envelope ids disjoint from the NM's own call
+// ids (reqSeq): both appear as envelope IDs in ListFieldsResp/Error
+// replies, and a collision would misroute a call response to a relay
+// origin.
+const relayIDBase = uint64(1) << 32
+
 // New creates a network manager.
 func New() *NM {
 	return &NM{
-		devices:     make(map[core.DeviceID]*DeviceInfo),
-		waiters:     make(map[uint64]chan msg.Envelope),
-		relays:      make(map[uint64]relayOrigin),
-		domains:     make(map[string]string),
-		gateways:    make(map[string]string),
-		intentDevs:  make(map[string]map[core.DeviceID]bool),
-		store:       make(map[string]Intent),
-		CallTimeout: 5 * time.Second,
+		devices:           make(map[core.DeviceID]*DeviceInfo),
+		waiters:           make(map[uint64]chan msg.Envelope),
+		relays:            make(map[uint64]relayOrigin),
+		relaySeq:          relayIDBase,
+		domains:           make(map[string]string),
+		gateways:          make(map[string]string),
+		intentDevs:        make(map[string]map[core.DeviceID]bool),
+		store:             make(map[string]Intent),
+		subs:              make(map[uint64]chan Event),
+		staleDevs:         make(map[core.DeviceID]bool),
+		installedTriggers: make(map[string]bool),
+		CallTimeout:       5 * time.Second,
 	}
 }
 
@@ -323,6 +354,22 @@ func (n *NM) Device(id core.DeviceID) (*DeviceInfo, bool) {
 	return &cp, true
 }
 
+// IntentsOn returns the registered intents whose last applied
+// configuration touched the device (sorted). The daemon uses it to map
+// a device-scoped event to the dependent intents.
+func (n *NM) IntentsOn(dev core.DeviceID) []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []string
+	for name, devs := range n.intentDevs {
+		if devs[dev] {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
 // Notifies returns the unsolicited notifications received so far.
 func (n *NM) Notifies() []msg.Notify {
 	n.mu.Lock()
@@ -365,7 +412,15 @@ func (n *NM) handle(env msg.Envelope) {
 		var t msg.Topology
 		if env.Decode(&t) == nil {
 			n.mu.Lock()
-			n.deviceInfo(t.Device).Topology = t
+			d := n.deviceInfo(t.Device)
+			prev := d.Topology
+			d.Topology = t
+			// A re-report that changed the device's physical view (link
+			// up/down, peer change) is an event the daemon reacts to;
+			// the initial report and identical re-reports are not.
+			if len(prev.Ports) > 0 && !topologyEqual(prev, t) {
+				n.publishLocked(Event{Kind: EventTopology, Device: t.Device})
+			}
 			n.mu.Unlock()
 		}
 
@@ -439,8 +494,12 @@ func (n *NM) handle(env msg.Envelope) {
 		}
 		n.mu.Lock()
 		n.counters.NotifyRecv++
-		n.notifies = append(n.notifies, note)
+		n.notifies = appendBounded(n.notifies, note)
 		n.logf("notify:"+note.Module.String(), "notify (%s: %s)", note.Module, note.Kind)
+		n.publishLocked(Event{
+			Kind: EventNotify, Device: note.Module.Device,
+			Module: note.Module, What: note.Kind, Detail: note.Detail,
+		})
 		n.mu.Unlock()
 
 	case msg.TypeTrigger:
@@ -450,12 +509,20 @@ func (n *NM) handle(env msg.Envelope) {
 		}
 		n.mu.Lock()
 		n.counters.TriggerRecv++
-		n.triggers = append(n.triggers, t)
-		cb := n.OnTrigger
+		n.triggers = appendBounded(n.triggers, t)
+		n.publishLocked(Event{
+			Kind: EventTrigger, Device: t.Module.Device,
+			Module: t.Module, Component: t.Component,
+		})
 		n.mu.Unlock()
-		if cb != nil {
+		// The callback is invoked under triggerMu (not n.mu), so
+		// SetOnTrigger waits out an in-flight dispatch instead of
+		// swapping the handler mid-call.
+		n.triggerMu.RLock()
+		if cb := n.onTrigger; cb != nil {
 			cb(t)
 		}
+		n.triggerMu.RUnlock()
 
 	case msg.TypeError:
 		// Could be a failed relay or an answer to one of our requests.
@@ -621,6 +688,43 @@ func (n *NM) InstallTrigger(module core.ModuleRef, component string) (string, er
 		return "", err
 	}
 	return body.TriggerID, nil
+}
+
+// ListFields resolves an abstract component of a module to its current
+// low-level fields (listFieldsAndValues issued by the NM itself,
+// §II-E). It is how the NM checks whether a handle another component
+// embedded is still current.
+func (n *NM) ListFields(target core.ModuleRef, component string) (map[string]string, error) {
+	resp, err := n.call(msg.TypeListFieldsReq, target.Device, msg.ListFieldsReq{
+		Target: target, Component: component,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var body msg.ListFieldsResp
+	if err := resp.Decode(&body); err != nil {
+		return nil, err
+	}
+	return body.Fields, nil
+}
+
+// ensureTrigger installs a dependency-maintenance trigger once per
+// (module, component): repeated Applies of the same plan stay quiet.
+func (n *NM) ensureTrigger(module core.ModuleRef, component string) error {
+	key := module.String() + "|" + component
+	n.mu.Lock()
+	done := n.installedTriggers[key]
+	n.mu.Unlock()
+	if done {
+		return nil
+	}
+	if _, err := n.InstallTrigger(module, component); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.installedTriggers[key] = true
+	n.mu.Unlock()
+	return nil
 }
 
 // SelfTest asks a module to probe data-plane connectivity to its peer

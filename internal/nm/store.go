@@ -105,10 +105,22 @@ type StorePlan struct {
 	// Shared counts distinct desired components wanted by more than one
 	// intent (the store's refcounted overlap).
 	Shared int
+	// Unreachable lists stranded devices (occupied only by withdrawn or
+	// rerouted intents) that did not answer showActual — killed or
+	// partitioned. Their stale state could not be pruned this pass; the
+	// NM remembers them and retries once they answer again.
+	Unreachable []core.DeviceID
 
 	// records is the per-intent device occupancy a successful
 	// ApplyStore commits to the NM's memory.
 	records map[string][]core.DeviceID
+	// pruned lists stranded devices that were observed (and cleaned)
+	// this pass; ApplyStore clears their stale mark.
+	pruned []core.DeviceID
+	// handleDeps are the (provider, component) pairs desired rules embed
+	// resolved handles from; ApplyStore installs triggers for them
+	// (§II-E).
+	handleDeps []handleDep
 }
 
 // Empty reports whether applying the store plan would send no commands.
@@ -417,8 +429,10 @@ func ownersSuffix(owners []string) string {
 // appending delete/create batches to the plan. Pipes are matched by
 // content (adopting observed wire ids so surviving configuration is
 // untouched); anything observed that no desired component claims is
-// stale and deleted, rules before pipes.
-func (du *deviceUnion) diff(o *observed, plan *StorePlan) {
+// stale and deleted, rules before pipes. The NM is consulted for
+// handle-freshness probes on rules that embed exported low-level
+// fields (§II-E).
+func (du *deviceUnion) diff(n *NM, o *observed, plan *StorePlan) {
 	// Pipe pass 1: bind desired pipes to observed ones by content.
 	claimed := make(map[core.PipeID]bool)
 	obsIDs := make([]core.PipeID, 0, len(o.pipes))
@@ -471,6 +485,19 @@ func (du *deviceUnion) diff(o *observed, plan *StorePlan) {
 		if it.rule == nil {
 			continue
 		}
+		// The rule consumes exported handles when it steers into a pipe
+		// whose lower module is a *different* module that advertises
+		// HandleFields (an egress rule's To pipe has the rule's own
+		// module below it — nothing is embedded).
+		exports := it.rule.toPipe != nil && it.rule.toPipe.req.Lower != it.rule.rule.Module &&
+			n.handleExporter(it.rule.toPipe.req.Lower)
+		if exports {
+			// The rule embeds fields the To pipe's lower module exports:
+			// register the dependency so ApplyStore installs a trigger.
+			plan.handleDeps = append(plan.handleDeps, handleDep{
+				it.rule.toPipe.req.Lower, "pipe:" + string(it.rule.toPipe.id),
+			})
+		}
 		if (it.rule.fromPipe != nil && !it.rule.fromPipe.inPlace) ||
 			(it.rule.toPipe != nil && !it.rule.toPipe.inPlace) {
 			continue
@@ -488,6 +515,15 @@ func (du *deviceUnion) diff(o *observed, plan *StorePlan) {
 			// install): the abstract rule matches but its concrete
 			// resolution no longer does — replace it.
 			if or.matchResolved != it.rule.matchResolved || or.viaResolved != it.rule.viaResolved {
+				continue
+			}
+			// Stale embedded handle (§II-E): the provider below the To
+			// pipe regenerated its exported fields since this rule was
+			// installed (e.g. an NHLFE renumbered by pipe churn), so the
+			// installed rule's embedded copy points at dead state even
+			// though its abstract and resolved forms still match —
+			// replace it.
+			if exports && !n.handleFresh(it.rule.toPipe.req.Lower, rr.To, or.handle) {
 				continue
 			}
 			or.used = true
@@ -573,6 +609,14 @@ func (n *NM) recordedDevices(current []core.DeviceID) []core.DeviceID {
 			}
 		}
 	}
+	// Devices that were unreachable when a previous pass wanted to prune
+	// them: keep trying until they answer.
+	for d := range n.staleDevs {
+		if !cur[d] && !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
 	n.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -608,19 +652,25 @@ func (n *NM) PlanStore() (*StorePlan, error) {
 		}
 	}
 	stranded := n.recordedDevices(order)
-	obs, err := n.observe(append(append([]core.DeviceID(nil), order...), stranded...))
+	obs, unreachable, err := n.observe(append(append([]core.DeviceID(nil), order...), stranded...), optionalSet(stranded))
 	if err != nil {
 		return nil, err
 	}
+	plan.Unreachable = unreachable
 	// Devices no registered intent occupies any more: everything on
-	// them is stale.
+	// them is stale. Unreachable ones are skipped and remembered.
 	for _, dev := range stranded {
-		if del := pruneAll(dev, obs[dev]); len(del.Items) > 0 {
+		o := obs[dev]
+		if o == nil {
+			continue
+		}
+		plan.pruned = append(plan.pruned, dev)
+		if del := pruneAll(dev, o); len(del.Items) > 0 {
 			plan.Deletes = append(plan.Deletes, del)
 		}
 	}
 	for _, dev := range order {
-		unions[dev].diff(obs[dev], plan)
+		unions[dev].diff(n, obs[dev], plan)
 	}
 	// Sharing accounting, per intent and store-wide.
 	viewOf := make(map[string]*IntentView, len(plan.Views))
@@ -672,6 +722,12 @@ func (n *NM) ApplyStore(plan *StorePlan) error {
 			return fmt.Errorf("nm: reconcile: %w", err)
 		}
 	}
+	// Dependency maintenance (§II-E): watch every provider component a
+	// desired rule embeds handles from, so churn fires a Trigger.
+	if err := n.installHandleTriggers(plan.handleDeps); err != nil {
+		return fmt.Errorf("nm: reconcile (triggers): %w", err)
+	}
+	n.markStale(plan.pruned, plan.Unreachable)
 	n.mu.Lock()
 	n.intentDevs = make(map[string]map[core.DeviceID]bool, len(plan.records))
 	for name, devs := range plan.records {

@@ -104,7 +104,7 @@ func TestUnionMergeDedupesSharedComponents(t *testing.T) {
 		t.Fatalf("union holds %d rules, want 3 (2 exclusive + 1 shared)", len(du.rules))
 	}
 	plan := &StorePlan{}
-	du.diff(&observed{pipes: map[core.PipeID]obsPipe{}}, plan)
+	du.diff(New(), &observed{pipes: map[core.PipeID]obsPipe{}}, plan)
 	if len(plan.Creates) != 1 {
 		t.Fatalf("want one create batch, got %d", len(plan.Creates))
 	}
@@ -150,7 +150,7 @@ func TestDiffAdoptsObservedPipeIDs(t *testing.T) {
 		},
 	}
 	plan := &StorePlan{}
-	unions[dev].diff(o, plan)
+	unions[dev].diff(New(), o, plan)
 	if len(plan.Creates) != 0 {
 		t.Errorf("in-place pipe churned:\n%s", plan.Render())
 	}

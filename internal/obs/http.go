@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// NewMux builds the daemon's HTTP surface: GET /status serves the
+// JSON encoding of status(), GET /metrics the Prometheus rendering of
+// m. Callers register additional handlers (fault injection, health)
+// on the returned mux.
+func NewMux(status func() any, m *Metrics) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/status", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(status()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		_, _ = w.Write([]byte(m.RenderPrometheus()))
+	})
+	return mux
+}

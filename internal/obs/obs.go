@@ -1,0 +1,194 @@
+// Package obs provides the small observability surface the
+// reconciliation daemon exposes: named counters and fixed-bucket
+// histograms collected in a registry, rendered either as JSON
+// snapshots (the /status endpoint) or in Prometheus text exposition
+// format (the /metrics endpoint). It depends only on the standard
+// library and knows nothing about the NM.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Get returns the current value.
+func (c *Counter) Get() uint64 { return c.v.Load() }
+
+// DefaultLatencyBuckets suit management-plane latencies: 1ms to 10s.
+var DefaultLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// Histogram is a fixed-bucket histogram of float64 observations
+// (seconds, for the daemon's latency metrics).
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []float64 // upper bucket bounds, ascending; +Inf implicit
+	counts []uint64  // len(bounds)+1, last is the overflow bucket
+	sum    float64
+	count  uint64
+}
+
+// NewHistogram creates a histogram with the given ascending upper
+// bounds (DefaultLatencyBuckets when none are given).
+func NewHistogram(bounds ...float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.sum += v
+	h.count++
+}
+
+// Bucket is one cumulative histogram bucket.
+type Bucket struct {
+	Le    float64 `json:"le"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets"`
+}
+
+// Snapshot returns the histogram's current cumulative buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	snap := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i]
+		snap.Buckets = append(snap.Buckets, Bucket{Le: b, Count: cum})
+	}
+	return snap
+}
+
+// Metrics is an ordered registry of counters and histograms.
+type Metrics struct {
+	mu       sync.Mutex
+	order    []string
+	help     map[string]string
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		help:     make(map[string]string),
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns (creating on first use) the named counter.
+func (m *Metrics) Counter(name, help string) *Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if c, ok := m.counters[name]; ok {
+		return c
+	}
+	c := &Counter{}
+	m.counters[name] = c
+	m.help[name] = help
+	m.order = append(m.order, name)
+	return c
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (m *Metrics) Histogram(name, help string, bounds ...float64) *Histogram {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.hists[name]; ok {
+		return h
+	}
+	h := NewHistogram(bounds...)
+	m.hists[name] = h
+	m.help[name] = help
+	m.order = append(m.order, name)
+	return h
+}
+
+// Snapshot returns every metric's current value keyed by name
+// (counters as uint64, histograms as HistogramSnapshot), for the
+// /status JSON document.
+func (m *Metrics) Snapshot() map[string]any {
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make(map[string]any, len(names))
+	for _, name := range names {
+		m.mu.Lock()
+		c, isC := m.counters[name]
+		h, isH := m.hists[name]
+		m.mu.Unlock()
+		switch {
+		case isC:
+			out[name] = c.Get()
+		case isH:
+			out[name] = h.Snapshot()
+		}
+	}
+	return out
+}
+
+// RenderPrometheus renders the registry in Prometheus text exposition
+// format, in registration order.
+func (m *Metrics) RenderPrometheus() string {
+	m.mu.Lock()
+	names := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	var b strings.Builder
+	for _, name := range names {
+		m.mu.Lock()
+		help := m.help[name]
+		c, isC := m.counters[name]
+		h, isH := m.hists[name]
+		m.mu.Unlock()
+		switch {
+		case isC:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Get())
+		case isH:
+			snap := h.Snapshot()
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+			for _, bk := range snap.Buckets {
+				fmt.Fprintf(&b, "%s_bucket{le=%q} %d\n", name, formatLe(bk.Le), bk.Count)
+			}
+			fmt.Fprintf(&b, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count)
+			fmt.Fprintf(&b, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
+		}
+	}
+	return b.String()
+}
+
+func formatLe(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%f", v), "0"), ".")
+}
