@@ -398,6 +398,52 @@ func BenchmarkLinearConfigure(b *testing.B) {
 	}
 }
 
+// BenchmarkStoreReconcile measures the incremental store's 1-dirty
+// reconcile latency with k resident intents on the diamond-lite
+// topology: submit one new intent, reconcile. The k=1 run is the floor;
+// k=10000 staying within the same order of magnitude is the store's
+// O(changed) contract (gated with real thresholds by `conman bench` and
+// the CI baseline; this benchmark is for local profiling).
+func BenchmarkStoreReconcile(b *testing.B) {
+	for _, k := range []int{1, 10000} {
+		b.Run(fmt.Sprintf("k=%d/1-dirty", k), func(b *testing.B) {
+			tb, err := experiments.BuildDiamondLite(k + b.N)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer tb.Close()
+			for j := 1; j <= k; j++ {
+				if err := tb.NM.Submit(experiments.LiteIntent(j)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// First pass converges the store; second settles the VLAN
+			// pipe-bind fallback so measurement starts from a quiet state.
+			if _, err := tb.NM.Reconcile(); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tb.NM.Reconcile(); err != nil {
+				b.Fatal(err)
+			}
+			tb.Hub.SetLatency(simRTT)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := tb.NM.Submit(experiments.LiteIntent(k + 1 + i)); err != nil {
+					b.Fatal(err)
+				}
+				plan, err := tb.NM.Reconcile()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if plan.Stats.FullRebuild || plan.Stats.Recompiled != 1 {
+					b.Fatalf("1-dirty pass recompiled %d intents (full=%v)",
+						plan.Stats.Recompiled, plan.Stats.FullRebuild)
+				}
+			}
+		})
+	}
+}
+
 func benchmarkLinearConfigure(b *testing.B, sc experiments.LinearScenario, ns []int) {
 	for _, n := range ns {
 		for _, mode := range []string{"sequential", "concurrent"} {

@@ -12,13 +12,15 @@
 //	conman submit
 //	conman reconcile [-dry-run]
 //	conman withdraw [-dry-run] <vpn-c1|vpn-c2>
-//	conman daemon [-addr HOST:PORT] [-poll DUR]
+//	conman daemon [-addr HOST:PORT] [-poll DUR] [-state-dir DIR]
 //	conman doctor [-addr HOST:PORT]
+//	conman store log|show|rollback -state-dir DIR [-to SEQ]
 //	conman bench [-out FILE]
 //	conman table3|table4|table5|table6|fig3|fig5|fig7|fig8|fig9|paths|all
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -36,6 +38,7 @@ import (
 
 	"conman/internal/experiments"
 	"conman/internal/nm"
+	"conman/internal/nm/datastore"
 	"conman/internal/obs"
 )
 
@@ -72,6 +75,12 @@ func main() {
 		return
 	case "doctor":
 		os.Exit(runDoctor(args))
+	case "store":
+		if err := runStoreAdmin(args); err != nil {
+			fmt.Fprintf(os.Stderr, "conman store: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	case "bench":
 		if err := runBench(args); err != nil {
 			fmt.Fprintf(os.Stderr, "conman bench: %v\n", err)
@@ -125,7 +134,7 @@ intent store (multi-goal reconciliation, shared-core diamond demo):
                               plan without executing it)
 
 autonomous operation:
-  daemon [-addr HOST:PORT] [-poll DUR]
+  daemon [-addr HOST:PORT] [-poll DUR] [-state-dir DIR]
                               run the shared-core demo under the
                               autonomous reconciliation daemon: submit
                               both VPN intents, converge, and keep
@@ -134,13 +143,37 @@ autonomous operation:
                               injection (POST /chaos/kill-wire?wire=W,
                               /chaos/restore-wire?wire=W). -poll adds a
                               periodic audit pass on top of the event
-                              push path (default: pure push)
+                              push path (default: pure push).
+                              -state-dir persists the intent store
+                              (snapshot + journal) there and restores
+                              it on startup, so a restarted daemon
+                              converges without re-observing devices
+                              that did not change
   doctor [-addr HOST:PORT]    snapshot a running daemon's /status,
-                              pretty-print intent health, and exit
-                              non-zero when it is unhealthy
+                              pretty-print intent health (including
+                              observation-cache hit rate and journal
+                              counters), and exit non-zero when it is
+                              unhealthy
+
+persistent store (offline, operates on -state-dir):
+  store log -state-dir DIR    print the journal: every submit/update/
+                              withdraw and apply-begin/commit bracket,
+                              with sequence numbers and the snapshot
+                              position
+  store show -state-dir DIR [-to SEQ]
+                              replay snapshot + journal and print the
+                              registered intents (as of SEQ, when given)
+  store rollback -state-dir DIR -to SEQ
+                              rewind the intent set to sequence SEQ by
+                              appending a rollback record (history is
+                              kept); the next daemon start reconciles
+                              the network to the rewound set
 
 benchmarks:
-  bench [-out FILE]           run the linear-n scale suite and emit the
+  bench [-out FILE]           run the linear-n scale suite, the
+                              StoreReconcile 1-dirty latency probe
+                              (k=1 vs k=10000 resident intents) and the
+                              daemon convergence row, and emit the
                               results as JSON (for CI artifacts)
 
 paper artifacts:
@@ -406,6 +439,7 @@ func runDaemon(args []string) error {
 	fs := flag.NewFlagSet("daemon", flag.ContinueOnError)
 	addr := fs.String("addr", defaultDaemonAddr, "HTTP listen address for /status and /metrics")
 	poll := fs.Duration("poll", 0, "periodic audit interval (0 disables polling; events alone drive reconciliation)")
+	stateDir := fs.String("state-dir", "", "persist the intent store (snapshot + journal) in this directory and restore it on startup")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -414,8 +448,24 @@ func runDaemon(args []string) error {
 		return err
 	}
 	defer tb.Close()
+	if *stateDir != "" {
+		backend, err := datastore.NewFileBackend(*stateDir)
+		if err != nil {
+			return err
+		}
+		restored, err := tb.NM.Persist(backend)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("conman daemon: restored %d intents from %s\n", restored, *stateDir)
+	}
 	for _, p := range pairs {
-		if err := tb.NM.Submit(p.Intent("VLAN tunnel")); err != nil {
+		err := tb.NM.Submit(p.Intent("VLAN tunnel"))
+		var dup *nm.DuplicateIntentError
+		if errors.As(err, &dup) {
+			continue // already restored from the state directory
+		}
+		if err != nil {
 			return err
 		}
 	}
@@ -453,6 +503,14 @@ func runDaemon(args []string) error {
 		shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
 		defer shutCancel()
 		_ = srv.Shutdown(shutCtx)
+		stop() // quiesce the reconciler before snapshotting
+		if *stateDir != "" {
+			if err := tb.NM.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "conman daemon: checkpoint on shutdown: %v\n", err)
+			} else {
+				fmt.Printf("conman daemon: state checkpointed to %s\n", *stateDir)
+			}
+		}
 		fmt.Println("conman daemon: shut down")
 		return nil
 	case err := <-serveErr:
@@ -542,6 +600,19 @@ func runDoctor(args []string) int {
 		counterOf(st.Metrics, "conman_events_topology_total"),
 		counterOf(st.Metrics, "conman_events_poll_total"),
 		counterOf(st.Metrics, "conman_events_dropped_total"))
+	hits := counterOf(st.Metrics, "conman_observe_cache_hits_total")
+	misses := counterOf(st.Metrics, "conman_observe_cache_misses_total")
+	rate := "-"
+	if hits+misses > 0 {
+		rate = fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(hits+misses))
+	}
+	fmt.Printf("  obs cache:   %d hits / %d misses (%s hit rate), %d observes, %d recompiles\n",
+		hits, misses, rate,
+		counterOf(st.Metrics, "conman_observes_total"),
+		counterOf(st.Metrics, "conman_store_recompiles_total"))
+	fmt.Printf("  journal:     %d entries, %d snapshots\n",
+		counterOf(st.Metrics, "conman_journal_entries_total"),
+		counterOf(st.Metrics, "conman_snapshot_writes_total"))
 
 	if !st.Healthy() {
 		fmt.Println("UNHEALTHY")
@@ -549,6 +620,144 @@ func runDoctor(args []string) int {
 	}
 	fmt.Println("healthy")
 	return 0
+}
+
+// runStoreAdmin operates offline on a daemon's -state-dir: `log` prints
+// the journal, `show` replays the registered intents as of a sequence
+// number, `rollback` appends a rollback record rewinding the intent set
+// (history is kept — the rollback is itself a journal entry the next
+// daemon start replays).
+func runStoreAdmin(args []string) error {
+	if len(args) < 1 {
+		usage()
+		return fmt.Errorf("store needs a subcommand (log, show or rollback)")
+	}
+	sub, rest := args[0], args[1:]
+	fs := flag.NewFlagSet("store "+sub, flag.ContinueOnError)
+	dir := fs.String("state-dir", "", "daemon state directory (snapshot + journal)")
+	to := fs.Uint64("to", 0, "journal sequence number (show: replay up to it; rollback: rewind to it)")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("store %s needs -state-dir", sub)
+	}
+	backend, err := datastore.NewFileBackend(*dir)
+	if err != nil {
+		return err
+	}
+	log, st, err := datastore.Open(backend)
+	if err != nil {
+		return err
+	}
+	defer log.Close()
+
+	switch sub {
+	case "log":
+		all, err := backend.Entries()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("state %s: %d journal entries, snapshot at seq %d, last seq %d\n",
+			*dir, len(all), st.SnapshotSeq, st.LastSeq)
+		for _, e := range all {
+			line := fmt.Sprintf("  seq %4d  %s  %-11s", e.Seq, time.Unix(e.TimeUnix, 0).Format(time.RFC3339), e.Op)
+			if e.Name != "" {
+				line += " " + e.Name
+			}
+			switch e.Op {
+			case datastore.OpApplyBegin:
+				var devs []string
+				if json.Unmarshal(e.Data, &devs) == nil {
+					line += " devices=" + strings.Join(devs, ",")
+				}
+			case datastore.OpRollback:
+				line += fmt.Sprintf(" to=%d", e.To)
+			}
+			fmt.Println(line)
+			if e.Seq == st.SnapshotSeq {
+				fmt.Println("  ---- snapshot ----")
+			}
+		}
+		return nil
+
+	case "show":
+		var recs []datastore.IntentRecord
+		if *to != 0 {
+			// Historic view: replay the full retained journal from empty.
+			all, err := backend.Entries()
+			if err != nil {
+				return err
+			}
+			recs, err = datastore.ReplayIntents(nil, all, *to)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("intents as of seq %d:\n", *to)
+		} else {
+			base, err := datastore.SnapshotIntents(st.Snapshot)
+			if err != nil {
+				return err
+			}
+			recs, err = datastore.ReplayIntents(base, st.Entries, 0)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("intents as of seq %d:\n", st.LastSeq)
+		}
+		if len(recs) == 0 {
+			fmt.Println("  (none)")
+		}
+		for _, r := range recs {
+			fmt.Printf("  %-12s %s\n", r.Name, compactJSON(r.Data))
+		}
+		return nil
+
+	case "rollback":
+		if *to == 0 {
+			return fmt.Errorf("store rollback needs -to SEQ (see 'store log')")
+		}
+		if *to >= st.LastSeq {
+			return fmt.Errorf("-to %d is not in the past (last seq %d)", *to, st.LastSeq)
+		}
+		all, err := backend.Entries()
+		if err != nil {
+			return err
+		}
+		recs, err := datastore.ReplayIntents(nil, all, *to)
+		if err != nil {
+			return err
+		}
+		e, err := log.Append(datastore.OpRollback, "", recs, *to)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("rolled back to seq %d (rollback recorded as seq %d); intent set now:\n", *to, e.Seq)
+		if len(recs) == 0 {
+			fmt.Println("  (none)")
+		}
+		for _, r := range recs {
+			fmt.Printf("  %s\n", r.Name)
+		}
+		fmt.Println("restart the daemon (same -state-dir) to reconcile the network to this set")
+		return nil
+	}
+	usage()
+	return fmt.Errorf("unknown store subcommand %q (want log, show or rollback)", sub)
+}
+
+// compactJSON renders a raw JSON payload on one line, truncated for
+// listing.
+func compactJSON(raw json.RawMessage) string {
+	var buf bytes.Buffer
+	if err := json.Compact(&buf, raw); err != nil {
+		return string(raw)
+	}
+	s := buf.String()
+	if len(s) > 120 {
+		s = s[:117] + "..."
+	}
+	return s
 }
 
 // counterOf digs one counter out of a decoded /status metrics map;
@@ -680,6 +889,31 @@ func runBench(args []string) error {
 				vlan.Name, n, mode, best, stats.Expanded)
 		}
 	}
+	// Store reconcile latency: one dirty intent among k resident ones.
+	// The k=1 row is the floor (compile + two edge batches); the k=10000
+	// row must stay within 5x of it or the store has regressed to
+	// O(store) passes — the incremental engine's acceptance budget,
+	// enforced here and via the CI baseline.
+	{
+		const storeIters = 32
+		secs := make(map[int]float64)
+		for _, k := range []int{1, 10000} {
+			mean, expanded, err := benchStoreReconcile(k, storeIters, latency)
+			if err != nil {
+				return err
+			}
+			secs[k] = mean
+			results = append(results, benchResult{
+				Benchmark: "StoreReconcile", Scenario: "diamond-lite", N: k, Mode: "1-dirty",
+				Seconds: mean, Expanded: expanded,
+			})
+			fmt.Fprintf(os.Stderr, "StoreReconcile/diamond-lite n=%d 1-dirty: %v per reconcile (%d observes+recompiles over %d iterations)\n",
+				k, time.Duration(mean*float64(time.Second)), expanded, storeIters)
+		}
+		if ratio := secs[10000] / secs[1]; ratio > 5 {
+			return fmt.Errorf("StoreReconcile 1-dirty latency at k=10000 is %.1fx the k=1 floor (budget 5x) — reconcile is no longer O(changed)", ratio)
+		}
+	}
 	// Daemon convergence: wall clock from an injected wire cut to a
 	// re-converged store under the autonomous daemon — carrier loss,
 	// topology re-reports, debounce, reroute, verify-empty plan. This is
@@ -706,6 +940,47 @@ func runBench(args []string) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0644)
+}
+
+// benchStoreReconcile builds the diamond-lite topology with k resident
+// intents, converges the store once, then measures iters rounds of
+// "submit one new intent, reconcile" under the latency-emulating
+// channel. It returns the mean per-round wall clock and the total
+// observes+recompiles the incremental engine spent (ideally exactly
+// iters recompiles and zero observes — the cache write-through keeps
+// every round RPC-free beyond its two edge batches).
+func benchStoreReconcile(k, iters int, latency time.Duration) (float64, int, error) {
+	tb, err := experiments.BuildDiamondLite(k + iters)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer tb.Close()
+	for j := 1; j <= k; j++ {
+		if err := tb.NM.Submit(experiments.LiteIntent(j)); err != nil {
+			return 0, 0, err
+		}
+	}
+	if _, err := tb.NM.Reconcile(); err != nil {
+		return 0, 0, err
+	}
+	// Settle any pending-bind fallback so measurement starts converged.
+	if _, err := tb.NM.Reconcile(); err != nil {
+		return 0, 0, err
+	}
+	tb.Hub.SetLatency(latency)
+	expanded := 0
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := tb.NM.Submit(experiments.LiteIntent(k + 1 + i)); err != nil {
+			return 0, 0, err
+		}
+		plan, err := tb.NM.Reconcile()
+		if err != nil {
+			return 0, 0, err
+		}
+		expanded += plan.Stats.Observed + plan.Stats.Recompiled
+	}
+	return time.Since(start).Seconds() / float64(iters), expanded, nil
 }
 
 // benchDaemonConverge measures one kill-wire heal under the daemon on

@@ -71,8 +71,11 @@ func Ref(name ModuleName, dev DeviceID, mod ModuleID) ModuleRef {
 }
 
 // String renders the reference in the paper's "<IP,A,g>" notation.
+// Plain concatenation, not fmt: the rendering doubles as the map key
+// for graph nodes and diff indexes, so it sits on the reconcile hot
+// path at store scale.
 func (r ModuleRef) String() string {
-	return fmt.Sprintf("<%s,%s,%s>", r.Name.Display(), r.Device, r.Module)
+	return "<" + r.Name.Display() + "," + string(r.Device) + "," + string(r.Module) + ">"
 }
 
 // IsZero reports whether the reference is unset.

@@ -320,11 +320,16 @@ func (a *MA) handle(env msg.Envelope) {
 			a.replyErr(env, "bad batch: %v", err)
 			return
 		}
-		resp := msg.CommandBatchResp{Errors: make([]string, len(batch.Items))}
+		resp := msg.CommandBatchResp{
+			Errors:  make([]string, len(batch.Items)),
+			Results: make([]msg.CommandItemResult, len(batch.Items)),
+		}
 		for i, item := range batch.Items {
-			if err := a.execItem(item); err != nil {
+			res, err := a.execItem(item)
+			if err != nil {
 				resp.Errors[i] = err.Error()
 			}
+			resp.Results[i] = res
 			a.retryPending()
 		}
 		a.reply(env, msg.TypeCommandBatchResp, resp)
@@ -349,7 +354,7 @@ func (a *MA) handle(env msg.Envelope) {
 			a.replyErr(env, "bad create.switch: %v", err)
 			return
 		}
-		id, err := a.createSwitch(body)
+		id, _, err := a.createSwitch(body)
 		if err != nil {
 			a.replyErr(env, "%v", err)
 			return
@@ -481,21 +486,21 @@ func (a *MA) replyErr(req msg.Envelope, format string, args ...any) {
 // ---------------------------------------------------------------------------
 // Primitive execution
 
-func (a *MA) execItem(item msg.CommandItem) error {
+func (a *MA) execItem(item msg.CommandItem) (msg.CommandItemResult, error) {
 	switch {
 	case item.Pipe != nil:
-		_, err := a.createPipe(item.Pipe.ID, item.Pipe.Req)
-		return err
+		id, err := a.createPipe(item.Pipe.ID, item.Pipe.Req)
+		return msg.CommandItemResult{PipeID: id}, err
 	case item.Switch != nil:
-		_, err := a.createSwitch(*item.Switch)
-		return err
+		id, pending, err := a.createSwitch(*item.Switch)
+		return msg.CommandItemResult{RuleID: id, Pending: pending}, err
 	case item.Filter != nil:
-		_, err := a.createFilter(*item.Filter)
-		return err
+		id, err := a.createFilter(*item.Filter)
+		return msg.CommandItemResult{RuleID: id}, err
 	case item.Delete != nil:
-		return a.deleteComponent(item.Delete.Req)
+		return msg.CommandItemResult{}, a.deleteComponent(item.Delete.Req)
 	}
-	return fmt.Errorf("device[%s]: empty command item", a.dev)
+	return msg.CommandItemResult{}, fmt.Errorf("device[%s]: empty command item", a.dev)
 }
 
 func (a *MA) createPipe(id core.PipeID, req core.PipeRequest) (core.PipeID, error) {
@@ -574,16 +579,16 @@ func dependencySatisfied(d core.Dependency, choices []core.DependencyChoice) boo
 	return false
 }
 
-func (a *MA) createSwitch(body msg.CreateSwitchReq) (string, error) {
+func (a *MA) createSwitch(body msg.CreateSwitchReq) (string, bool, error) {
 	m, ok := a.LocalModule(body.Rule.Module.Module)
 	if !ok {
-		return "", fmt.Errorf("device[%s]: no module %s", a.dev, body.Rule.Module)
+		return "", false, fmt.Errorf("device[%s]: no module %s", a.dev, body.Rule.Module)
 	}
 	if _, ok := a.PipeByID(body.Rule.From); !ok {
-		return "", fmt.Errorf("device[%s]: switch rule references unknown pipe %s", a.dev, body.Rule.From)
+		return "", false, fmt.Errorf("device[%s]: switch rule references unknown pipe %s", a.dev, body.Rule.From)
 	}
 	if _, ok := a.PipeByID(body.Rule.To); !ok {
-		return "", fmt.Errorf("device[%s]: switch rule references unknown pipe %s", a.dev, body.Rule.To)
+		return "", false, fmt.Errorf("device[%s]: switch rule references unknown pipe %s", a.dev, body.Rule.To)
 	}
 	a.mu.Lock()
 	a.ruleSeq++
@@ -600,12 +605,12 @@ func (a *MA) createSwitch(body msg.CreateSwitchReq) (string, error) {
 		a.mu.Lock()
 		a.pending = append(a.pending, pendingRule{module: m, inst: inst})
 		a.mu.Unlock()
-		return inst.ID, nil
+		return inst.ID, true, nil
 	}
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
-	return inst.ID, nil
+	return inst.ID, false, nil
 }
 
 func (a *MA) createFilter(body msg.CreateFilterReq) (string, error) {

@@ -1,0 +1,96 @@
+package experiments
+
+// Diamond-lite: the shared-core diamond of BuildDiamondShared without
+// the simulated customer routers. Each of the k customers is just an
+// external edge port on switches A and C, so setup cost is O(k) port
+// registrations on two devices instead of O(k) extra devices and wires.
+// That makes the topology usable at store scale (k = 10000) for the
+// incremental-reconcile benchmarks: every intent still compiles its own
+// per-port Tagged classification rules at the edges while sharing the
+// VLAN tunnel across the transit arm, exactly the component mix the
+// store's refcounting and delta diffing have to handle.
+
+import (
+	"fmt"
+
+	"conman/internal/core"
+	"conman/internal/modules"
+	"conman/internal/netsim"
+	"conman/internal/nm"
+)
+
+// LiteIntent returns the connectivity intent of customer j on a
+// diamond-lite testbed built with at least j ports: an A-to-C VLAN
+// tunnel classified on the customer's dedicated edge ports. Valid for
+// any 1 <= j <= the k passed to BuildDiamondLite.
+func LiteIntent(j int) nm.Intent {
+	port := fmt.Sprintf("cust%d", j)
+	return nm.Intent{
+		Name:   fmt.Sprintf("vpn-c%d", j),
+		Prefer: "VLAN tunnel",
+		Goal: nm.Goal{
+			From:          core.Ref(core.NameETH, "A", "a"),
+			To:            core.Ref(core.NameETH, "C", "c"),
+			FromPipe:      modules.PhysPipeID(port),
+			ToPipe:        modules.PhysPipeID(port),
+			TrafficDomain: fmt.Sprintf("C%d", j),
+			TagClassified: true,
+		},
+	}
+}
+
+// BuildDiamondLite constructs the four-switch diamond with k external
+// customer ports on each edge switch and no customer routers:
+//
+//	cust1..custk --\                    /-- cust1..custk
+//	                A ==== B1 ==== C
+//	                 \\              //
+//	                  ==== B2 ====
+//
+// The returned testbed has all four switches started; submit
+// LiteIntent(j) for 1 <= j <= k to configure customer j's tunnel. No
+// traffic can be injected (there are no customer routers) — this
+// topology exists for store-scale plan/apply/observe workloads, not
+// data-plane verification.
+func BuildDiamondLite(k int) (*Testbed, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("experiments: diamond-lite needs k >= 1 customers, got %d", k)
+	}
+	tb, err := newBareBase(nil)
+	if err != nil {
+		return nil, err
+	}
+	custPorts := make([]string, k)
+	for j := 1; j <= k; j++ {
+		custPorts[j-1] = fmt.Sprintf("cust%d", j)
+	}
+	if err := mkVLANSwitch(tb, "A", "a", "d", custPorts, []string{"toB1", "toB2"}); err != nil {
+		return nil, err
+	}
+	if err := mkVLANSwitch(tb, "B1", "m1", "v1", nil, []string{"left", "right"}); err != nil {
+		return nil, err
+	}
+	if err := mkVLANSwitch(tb, "B2", "m2", "v2", nil, []string{"left", "right"}); err != nil {
+		return nil, err
+	}
+	if err := mkVLANSwitch(tb, "C", "c", "f", custPorts, []string{"toB1", "toB2"}); err != nil {
+		return nil, err
+	}
+	for _, l := range []struct {
+		name string
+		a, b netsim.PortID
+	}{
+		{"A-B1", netsim.PortID{Device: "A", Name: "toB1"}, netsim.PortID{Device: "B1", Name: "left"}},
+		{"A-B2", netsim.PortID{Device: "A", Name: "toB2"}, netsim.PortID{Device: "B2", Name: "left"}},
+		{"B1-C", netsim.PortID{Device: "B1", Name: "right"}, netsim.PortID{Device: "C", Name: "toB1"}},
+		{"B2-C", netsim.PortID{Device: "B2", Name: "right"}, netsim.PortID{Device: "C", Name: "toB2"}},
+	} {
+		if err := connect(tb.Net, l.name, l.a, l.b); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}

@@ -270,6 +270,20 @@ type CommandBatchReq struct {
 // CommandBatchResp reports per-item results ("" = success).
 type CommandBatchResp struct {
 	Errors []string `json:"errors"`
+	// Results carries the created component identifiers, aligned with the
+	// request items, so the NM can bind desired state to device state
+	// without a follow-up showActual sweep.
+	Results []CommandItemResult `json:"results,omitempty"`
+}
+
+// CommandItemResult identifies what one batch item produced on the device.
+type CommandItemResult struct {
+	PipeID core.PipeID `json:"pipe_id,omitempty"`
+	RuleID string      `json:"rule_id,omitempty"`
+	// Pending marks a switch rule that was accepted but whose install is
+	// deferred on an external dependency (ErrPending); its observable
+	// state is not yet what the NM asked for.
+	Pending bool `json:"pending,omitempty"`
 }
 
 // OK reports whether every item succeeded.

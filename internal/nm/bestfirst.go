@@ -352,13 +352,26 @@ func (f *bfFinder) expand(b *bfNode) {
 			f.enter(b, down, core.EndUp, b.node, "", "")
 		}
 	case core.EndPhy:
-		for _, pa := range f.g.Phys(b.node) {
-			if pa.Pipe == b.entryPhys {
-				continue // never exit the pipe we entered on
+		// External exits only ever complete the path at the goal module
+		// (maybeAccept rejects everything else), so skip them entirely on
+		// transit nodes and, when the spec pins the exit port, probe that
+		// one attachment instead of scanning the edge switch's thousands
+		// of customer ports.
+		if b.node.Ref == f.spec.To {
+			if f.spec.ToPipe != "" {
+				if pa, ok := f.g.PhysAt(b.node, f.spec.ToPipe); ok && pa.External && pa.Pipe != b.entryPhys {
+					f.maybeAccept(b, pa.Pipe)
+				}
+			} else {
+				for _, pa := range f.g.Externals(b.node) {
+					if pa.Pipe != b.entryPhys {
+						f.maybeAccept(b, pa.Pipe)
+					}
+				}
 			}
-			if pa.External {
-				f.maybeAccept(b, pa.Pipe)
-			} else if pa.Peer != nil {
+		}
+		for _, pa := range f.g.Wires(b.node) {
+			if pa.Pipe != b.entryPhys { // never exit the pipe we entered on
 				f.enter(b, pa.Peer, core.EndPhy, nil, pa.PeerPipe, pa.Pipe)
 			}
 		}

@@ -421,23 +421,37 @@ func tradeoffGetName(key string) string {
 // Setting n.Sequential restores the strict in-order execution of the
 // paper's accounting runs.
 func (n *NM) Execute(scripts []DeviceScript) error {
+	_, err := n.executeCollect(scripts)
+	return err
+}
+
+// executeCollect runs scripts like Execute and additionally returns the
+// per-script batch responses, aligned with scripts, so callers can bind
+// desired state to the component ids the devices actually created.
+// Entries for scripts not reached before an error are zero-valued.
+func (n *NM) executeCollect(scripts []DeviceScript) ([]msg.CommandBatchResp, error) {
+	resps := make([]msg.CommandBatchResp, len(scripts))
 	if n.Sequential {
 		for i := range scripts {
-			if err := n.runScript(&scripts[i]); err != nil {
-				return err
+			r, err := n.runScript(&scripts[i])
+			resps[i] = r
+			if err != nil {
+				return resps, err
 			}
 		}
-		return nil
+		return resps, nil
 	}
 	for _, wave := range executionWaves(scripts) {
 		wave := wave
 		if err := n.forEach(len(wave), func(i int) error {
-			return n.runScript(&scripts[wave[i]])
-		}); err != nil {
+			r, err := n.runScript(&scripts[wave[i]])
+			resps[wave[i]] = r
 			return err
+		}); err != nil {
+			return resps, err
 		}
 	}
-	return nil
+	return resps, nil
 }
 
 // executionWaves partitions script indexes into waves: each script lands
@@ -459,15 +473,15 @@ func executionWaves(scripts []DeviceScript) [][]int {
 }
 
 // runScript sends one device's batch and surfaces per-item errors.
-func (n *NM) runScript(ds *DeviceScript) error {
+func (n *NM) runScript(ds *DeviceScript) (msg.CommandBatchResp, error) {
 	resp, err := n.ExecuteBatch(ds.Device, ds.Items)
 	if err != nil {
-		return fmt.Errorf("nm: batch on %s: %w", ds.Device, err)
+		return resp, fmt.Errorf("nm: batch on %s: %w", ds.Device, err)
 	}
 	for i, e := range resp.Errors {
 		if e != "" {
-			return fmt.Errorf("nm: batch on %s item %d (%s): %s", ds.Device, i, ds.Rendered[i], e)
+			return resp, fmt.Errorf("nm: batch on %s item %d (%s): %s", ds.Device, i, ds.Rendered[i], e)
 		}
 	}
-	return nil
+	return resp, nil
 }

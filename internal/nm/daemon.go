@@ -37,8 +37,16 @@ type DaemonConfig struct {
 	MaxBackoff time.Duration
 	// Poll, when positive, adds a periodic audit pass so drift that
 	// produced no event is still caught (the pull side of push-vs-poll;
-	// the event path is the push side). Default 0: pure push.
+	// the event path is the push side). Default 0: pure push. Each poll
+	// tick invalidates the NM's observation cache — a poll that trusted
+	// the cache would only catch drift that also produced an event,
+	// which is exactly what polling must not rely on.
 	Poll time.Duration
+	// EventsDisabled turns the push side off: the daemon does not
+	// subscribe to the NM's event feed and heals only on poll ticks.
+	// Exists for the measured push-vs-poll comparison (docs/daemon.md);
+	// production configs leave it false.
+	EventsDisabled bool
 	// Buffer sizes the event subscription channel.
 	Buffer int
 	// Logger receives structured reconcile logs with per-reconcile
@@ -111,6 +119,12 @@ type Daemon struct {
 	cTopology     *obs.Counter
 	cPoll         *obs.Counter
 	cDropped      *obs.Counter
+	cCacheHits    *obs.Counter
+	cCacheMisses  *obs.Counter
+	cRecompiles   *obs.Counter
+	cObserves     *obs.Counter
+	cJournal      *obs.Counter
+	cSnapshots    *obs.Counter
 
 	mu          sync.Mutex
 	running     bool
@@ -121,10 +135,15 @@ type Daemon struct {
 	converged   bool
 	convergeGen uint64
 	lastErr     error
-	lastViews   []IntentView
+	lastViews   []*IntentView
 	unreachable []core.DeviceID
 	traceSeq    uint64
 	lastDropped uint64
+	// lastJournal/lastSnapshots are the delta baselines for the
+	// persistence counters (the NM counts absolutes; the metrics are
+	// monotone counters fed per epoch).
+	lastJournal   uint64
+	lastSnapshots uint64
 }
 
 // NewDaemon builds a daemon over the NM. Call Run to start it.
@@ -150,7 +169,17 @@ func NewDaemon(n *NM, cfg DaemonConfig) *Daemon {
 		cTopology: m.Counter("conman_events_topology_total", "Topology changes processed (push)"),
 		cPoll:     m.Counter("conman_events_poll_total", "Periodic audit passes (pull)"),
 		cDropped:  m.Counter("conman_events_dropped_total", "Events dropped on a full subscriber buffer"),
-		dirty:     make(map[string]bool),
+		cCacheHits: m.Counter("conman_observe_cache_hits_total",
+			"Occupied devices served from the observation cache"),
+		cCacheMisses: m.Counter("conman_observe_cache_misses_total",
+			"Occupied devices re-observed because their generation moved"),
+		cRecompiles: m.Counter("conman_store_recompiles_total",
+			"Intents recompiled by reconcile passes (dirty ones only)"),
+		cObserves: m.Counter("conman_observes_total",
+			"Devices fetched fresh via showActual by reconcile passes"),
+		cJournal:   m.Counter("conman_journal_entries_total", "Journal entries appended"),
+		cSnapshots: m.Counter("conman_snapshot_writes_total", "Datastore snapshots written"),
+		dirty:      make(map[string]bool),
 	}
 }
 
@@ -161,8 +190,12 @@ func (d *Daemon) Metrics() *obs.Metrics { return d.cfg.Metrics }
 // one initial reconcile (establishing convergence on the current
 // store), then reacts to events.
 func (d *Daemon) Run(ctx context.Context) error {
-	events, cancel := d.nm.Subscribe(d.cfg.Buffer)
-	defer cancel()
+	var events <-chan Event
+	if !d.cfg.EventsDisabled {
+		ch, cancel := d.nm.Subscribe(d.cfg.Buffer)
+		defer cancel()
+		events = ch
+	}
 	d.mu.Lock()
 	d.events = events
 	d.running = true
@@ -191,6 +224,7 @@ func (d *Daemon) Run(ctx context.Context) error {
 			wake = time.After(d.cfg.Debounce)
 		case <-pollC:
 			d.cPoll.Inc()
+			d.nm.InvalidateObservations()
 			d.markDirty("*")
 			wake = time.After(d.cfg.Debounce)
 		case <-wake:
@@ -292,6 +326,20 @@ func (d *Daemon) reconcileEpoch() bool {
 		}
 		if err != nil {
 			return fail(err)
+		}
+		d.cCacheHits.Add(uint64(plan.Stats.CacheHits))
+		d.cCacheMisses.Add(uint64(plan.Stats.CacheMisses))
+		d.cRecompiles.Add(uint64(plan.Stats.Recompiled))
+		d.cObserves.Add(uint64(plan.Stats.Observed))
+		if js := d.nm.JournalStatus(); js.Enabled {
+			if delta := js.Entries - d.lastJournal; delta > 0 {
+				d.cJournal.Add(delta)
+				d.lastJournal += delta
+			}
+			if delta := js.Snapshots - d.lastSnapshots; delta > 0 {
+				d.cSnapshots.Add(delta)
+				d.lastSnapshots += delta
+			}
 		}
 		creates, deletes := planCounts(plan)
 		d.cInstalled.Add(uint64(creates))

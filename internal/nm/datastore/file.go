@@ -1,0 +1,128 @@
+package datastore
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FileBackend stores the snapshot and journal in a state directory:
+//
+//	<dir>/snapshot.json  — {"seq": N, "data": <opaque JSON>}, replaced
+//	                       atomically via write-to-temp + rename
+//	<dir>/journal.jsonl  — one Entry per line, O_APPEND only
+//
+// A torn final journal line (crash mid-append) is tolerated and
+// dropped on load; corruption anywhere else is an error.
+type FileBackend struct {
+	dir     string
+	journal *os.File
+}
+
+// NewFileBackend opens (creating if needed) a state directory.
+func NewFileBackend(dir string) (*FileBackend, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("datastore: create state dir: %w", err)
+	}
+	j, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: open journal: %w", err)
+	}
+	return &FileBackend{dir: dir, journal: j}, nil
+}
+
+type fileSnapshot struct {
+	Seq  uint64          `json:"seq"`
+	Data json.RawMessage `json:"data"`
+}
+
+// LoadSnapshot implements Backend.
+func (f *FileBackend) LoadSnapshot() (uint64, []byte, error) {
+	b, err := os.ReadFile(filepath.Join(f.dir, "snapshot.json"))
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil, nil
+	}
+	if err != nil {
+		return 0, nil, err
+	}
+	var s fileSnapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return 0, nil, fmt.Errorf("corrupt snapshot.json: %w", err)
+	}
+	return s.Seq, s.Data, nil
+}
+
+// WriteSnapshot implements Backend via write-to-temp + rename.
+func (f *FileBackend) WriteSnapshot(seq uint64, data []byte) error {
+	b, err := json.Marshal(fileSnapshot{Seq: seq, Data: data})
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(f.dir, "snapshot.json.tmp")
+	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(f.dir, "snapshot.json"))
+}
+
+// Append implements Backend: one JSON line, synced before returning so
+// an acknowledged mutation survives a crash.
+func (f *FileBackend) Append(e Entry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := f.journal.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	return f.journal.Sync()
+}
+
+// Entries implements Backend.
+func (f *FileBackend) Entries() ([]Entry, error) {
+	r, err := os.Open(filepath.Join(f.dir, "journal.jsonl"))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Bytes()
+		if len(text) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(text, &e); err != nil {
+			// A torn trailing line is a crash artifact, not corruption.
+			if atEOF(sc) {
+				break
+			}
+			return nil, fmt.Errorf("corrupt journal line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil && err != io.EOF {
+		return nil, err
+	}
+	return out, nil
+}
+
+// atEOF reports whether the scanner has no further lines.
+func atEOF(sc *bufio.Scanner) bool { return !sc.Scan() }
+
+// Dir returns the backing state directory.
+func (f *FileBackend) Dir() string { return f.dir }
+
+// Close implements Backend.
+func (f *FileBackend) Close() error { return f.journal.Close() }

@@ -1,0 +1,47 @@
+package datastore
+
+import "sync"
+
+// MemBackend is an in-memory Backend for tests and ephemeral runs.
+type MemBackend struct {
+	mu      sync.Mutex
+	snapSeq uint64
+	snap    []byte
+	entries []Entry
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{} }
+
+// LoadSnapshot implements Backend.
+func (m *MemBackend) LoadSnapshot() (uint64, []byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.snapSeq, append([]byte(nil), m.snap...), nil
+}
+
+// WriteSnapshot implements Backend.
+func (m *MemBackend) WriteSnapshot(seq uint64, data []byte) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.snapSeq, m.snap = seq, append([]byte(nil), data...)
+	return nil
+}
+
+// Append implements Backend.
+func (m *MemBackend) Append(e Entry) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.entries = append(m.entries, e)
+	return nil
+}
+
+// Entries implements Backend.
+func (m *MemBackend) Entries() ([]Entry, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Entry(nil), m.entries...), nil
+}
+
+// Close implements Backend.
+func (m *MemBackend) Close() error { return nil }

@@ -35,16 +35,26 @@ type Graph struct {
 	above   map[string][]*Node
 	below   map[string][]*Node
 	phys    map[string][]PhysAttachment
+	// Partitions of phys, built once so the finders do not rescan every
+	// customer port per expansion on an edge switch with thousands of
+	// external attachments: wires carries only resolved device-to-device
+	// links, externals only external ports, physAt indexes by pipe id.
+	wires     map[string][]PhysAttachment
+	externals map[string][]PhysAttachment
+	physAt    map[string]map[core.PipeID]PhysAttachment
 }
 
 // BuildGraph constructs the graph from everything the NM has learnt
 // through topology reports and showPotential.
 func BuildGraph(n *NM) (*Graph, error) {
 	g := &Graph{
-		nodes: make(map[string]*Node),
-		above: make(map[string][]*Node),
-		below: make(map[string][]*Node),
-		phys:  make(map[string][]PhysAttachment),
+		nodes:     make(map[string]*Node),
+		above:     make(map[string][]*Node),
+		below:     make(map[string][]*Node),
+		phys:      make(map[string][]PhysAttachment),
+		wires:     make(map[string][]PhysAttachment),
+		externals: make(map[string][]PhysAttachment),
+		physAt:    make(map[string]map[core.PipeID]PhysAttachment),
 	}
 	// Nodes.
 	type portTop struct {
@@ -119,7 +129,18 @@ func BuildGraph(n *NM) (*Graph, error) {
 						att.PeerPipe = core.PipeID("Phy-" + t.peerPort)
 					}
 				}
-				g.phys[node.Ref.String()] = append(g.phys[node.Ref.String()], att)
+				key := node.Ref.String()
+				g.phys[key] = append(g.phys[key], att)
+				switch {
+				case att.External:
+					g.externals[key] = append(g.externals[key], att)
+				case att.Peer != nil:
+					g.wires[key] = append(g.wires[key], att)
+				}
+				if g.physAt[key] == nil {
+					g.physAt[key] = make(map[core.PipeID]PhysAttachment)
+				}
+				g.physAt[key][att.Pipe] = att
 			}
 		}
 	}
@@ -149,6 +170,18 @@ func (g *Graph) Below(n *Node) []*Node { return g.below[n.Ref.String()] }
 
 // Phys returns n's physical attachments.
 func (g *Graph) Phys(n *Node) []PhysAttachment { return g.phys[n.Ref.String()] }
+
+// Wires returns n's resolved device-to-device attachments only.
+func (g *Graph) Wires(n *Node) []PhysAttachment { return g.wires[n.Ref.String()] }
+
+// Externals returns n's external attachments only.
+func (g *Graph) Externals(n *Node) []PhysAttachment { return g.externals[n.Ref.String()] }
+
+// PhysAt fetches one attachment of n by pipe id.
+func (g *Graph) PhysAt(n *Node, pipe core.PipeID) (PhysAttachment, bool) {
+	pa, ok := g.physAt[n.Ref.String()][pipe]
+	return pa, ok
+}
 
 // DeviceSubgraph renders the potential-connectivity sub-graph of one
 // device as an edge list (the paper's Fig 5).

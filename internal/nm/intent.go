@@ -112,11 +112,36 @@ func (p *Plan) Render() string {
 	return b.String()
 }
 
+// graph returns the potential-connectivity graph for the NM's current
+// compile generation, rebuilding only when discovery, topology or
+// domain knowledge moved since the last build. Cache misses rebuild
+// outside n.mu (BuildGraph takes it internally); a generation that
+// moved mid-build simply leaves the cache unset for the next caller.
+func (n *NM) graph() (*Graph, error) {
+	n.mu.Lock()
+	gen := n.compileGen
+	if g := n.graphCache; g != nil && n.graphGen == gen {
+		n.mu.Unlock()
+		return g, nil
+	}
+	n.mu.Unlock()
+	g, err := BuildGraph(n)
+	if err != nil {
+		return nil, err
+	}
+	n.mu.Lock()
+	if n.compileGen == gen {
+		n.graphCache, n.graphGen = g, gen
+	}
+	n.mu.Unlock()
+	return g, nil
+}
+
 // compileIntent resolves an intent to its chosen path and the full
 // desired per-device scripts (what a from-scratch configuration would
 // execute).
 func (n *NM) compileIntent(intent Intent) (*Path, []DeviceScript, error) {
-	g, err := BuildGraph(n)
+	g, err := n.graph()
 	if err != nil {
 		return nil, nil, err
 	}
@@ -158,6 +183,20 @@ type observed struct {
 	pipes map[core.PipeID]obsPipe
 	// rules lists installed switch rules across the device's modules.
 	rules []obsRule
+
+	// The remaining fields are the incremental store's binding indexes,
+	// lazily built by ensureIndex (storestate.go); a bare observed as
+	// observe() or a test constructs it carries none of them.
+
+	// claimed marks observed pipes bound to a desired union pipe.
+	claimed map[core.PipeID]bool
+	// usedIDs tracks every wire id ever observed on or allocated for the
+	// device, so deleted ids are not reused while the entry is cached.
+	usedIDs map[core.PipeID]bool
+	// ruleIdx indexes rules by binding identity (obsRule.key) and
+	// ruleByID by installed id; tombstoned rules (id=="") are unindexed.
+	ruleIdx  map[string][]int
+	ruleByID map[string]int
 }
 
 type obsPipe struct {
@@ -644,6 +683,17 @@ func (n *NM) PlanDestroy(intent Intent) (*Plan, error) {
 // nothing; applying the same intent's fresh Plan right after a
 // successful Apply is therefore a no-op.
 func (n *NM) Apply(plan *Plan) error {
+	// The per-intent path writes device state behind the store's
+	// observation cache, so every touched device's generation is bumped
+	// and the next store pass observes it fresh.
+	touched := make(map[core.DeviceID]bool)
+	for _, ds := range plan.Deletes {
+		touched[ds.Device] = true
+	}
+	for _, ds := range plan.Creates {
+		touched[ds.Device] = true
+	}
+	defer n.invalidateDevices(touched)
 	if len(plan.Deletes) > 0 {
 		if err := n.Execute(plan.Deletes); err != nil {
 			return fmt.Errorf("nm: apply %q (teardown phase): %w", plan.Intent.Name, err)

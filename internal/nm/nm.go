@@ -42,6 +42,17 @@
 // view. Pipe identity in the store is structural (endpoint modules,
 // remote peers, dependency choices), so reconciliation adopts the wire
 // ids of matching installed pipes instead of churning them.
+//
+// The store is incremental and persistent. Reconcile recompiles only
+// intents dirtied since the last pass (cached compilations are reused,
+// and the potential graph is memoised on the compile generation), and
+// answers unchanged devices from a per-device observation cache keyed
+// on device generations — so the cost of a pass scales with what
+// changed, not with what is registered. With NM.Persist the store
+// journals every Submit/Withdraw/commit to an append-only log
+// (internal/nm/datastore) with periodic snapshots; a restarted NM
+// restores its goals and observation cache and converges without
+// re-observing devices whose state nothing questions.
 package nm
 
 import (
@@ -53,6 +64,7 @@ import (
 	"conman/internal/channel"
 	"conman/internal/core"
 	"conman/internal/msg"
+	"conman/internal/nm/datastore"
 )
 
 // DefaultWorkers bounds the NM's concurrent device fan-out when
@@ -178,6 +190,49 @@ type NM struct {
 	// (module, component), so repeated reconciles stay quiet.
 	installedTriggers map[string]bool
 
+	// obsGens is the per-device observation generation: bumped by every
+	// signal that the device's configured state may have changed (hello,
+	// topology change, module notify, dependency trigger). The store's
+	// observed-state cache is valid only while its recorded generation
+	// still matches — event-driven invalidation instead of a showActual
+	// sweep per reconcile.
+	obsGens map[core.DeviceID]uint64
+	// compileGen is bumped by everything that can change compilation
+	// inputs (module discovery, topology, domain/gateway bindings). The
+	// store falls back to a full union rebuild when it moves.
+	compileGen uint64
+	// graphCache memoises BuildGraph for the current compileGen: a full
+	// store rebuild compiles every intent against the same topology, and
+	// rebuilding the potential graph per intent is O(k^2) at store
+	// scale. The graph is read-only after construction (searches keep
+	// their state in a per-call finder), so sharing it is safe.
+	graphCache *Graph
+	graphGen   uint64
+	// expectNotify counts module notifies the NM's own reconcile deletes
+	// are about to cause (keyed dev|kind|detail), so self-inflicted
+	// events do not invalidate the observation cache the reconcile just
+	// wrote through. The events still publish to subscribers.
+	expectNotify map[string]int
+
+	// planMu serialises store planning/apply and guards ss, the
+	// incremental union + observation-cache state. Lock order: planMu
+	// before mu, never the reverse.
+	planMu sync.Mutex
+	ss     *storeState
+
+	// ssDirty/ssRemoved record store mutations since the last PlanStore
+	// drained them; storePos keeps each registered intent's submission
+	// index so dirty intents merge in deterministic order.
+	ssDirty   map[string]bool
+	ssRemoved map[string]bool
+	storePos  map[string]int
+
+	// journal, when set via Persist, durably records store mutations;
+	// journalEntries/snapshotsWritten count this process's writes.
+	journal          *datastore.Log
+	journalEntries   uint64
+	snapshotsWritten uint64
+
 	logEnabled bool
 	msgLog     []logEntry
 	logSeq     map[string]uint64
@@ -225,6 +280,12 @@ func New() *NM {
 		subs:              make(map[uint64]chan Event),
 		staleDevs:         make(map[core.DeviceID]bool),
 		installedTriggers: make(map[string]bool),
+		obsGens:           make(map[core.DeviceID]uint64),
+		expectNotify:      make(map[string]int),
+		ss:                newStoreState(),
+		ssDirty:           make(map[string]bool),
+		ssRemoved:         make(map[string]bool),
+		storePos:          make(map[string]int),
 		CallTimeout:       5 * time.Second,
 	}
 }
@@ -243,6 +304,7 @@ func (n *NM) SetDomain(name, prefix string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.domains[name] = prefix
+	n.compileGen++
 }
 
 // SetGateway registers a gateway token -> address binding ("S1-gateway"
@@ -251,6 +313,7 @@ func (n *NM) SetGateway(token, addr string) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.gateways[token] = addr
+	n.compileGen++
 }
 
 // ResolveDomain returns the prefix for a domain name.
@@ -405,6 +468,10 @@ func (n *NM) handle(env msg.Envelope) {
 		if env.Decode(&h) == nil {
 			n.mu.Lock()
 			n.deviceInfo(h.Device).Hello = true
+			// A (re)booted device starts from clean state: both its cached
+			// observation and the potential graph are suspect.
+			n.bumpObsLocked(h.Device)
+			n.compileGen++
 			n.mu.Unlock()
 		}
 
@@ -415,6 +482,10 @@ func (n *NM) handle(env msg.Envelope) {
 			d := n.deviceInfo(t.Device)
 			prev := d.Topology
 			d.Topology = t
+			if len(prev.Ports) == 0 || !topologyEqual(prev, t) {
+				n.bumpObsLocked(t.Device)
+				n.compileGen++
+			}
 			// A re-report that changed the device's physical view (link
 			// up/down, peer change) is an event the daemon reacts to;
 			// the initial report and identical re-reports are not.
@@ -496,6 +567,17 @@ func (n *NM) handle(env msg.Envelope) {
 		n.counters.NotifyRecv++
 		n.notifies = appendBounded(n.notifies, note)
 		n.logf("notify:"+note.Module.String(), "notify (%s: %s)", note.Module, note.Kind)
+		// A notify the NM's own reconcile deletes caused (e.g. the lower
+		// module reporting pipe-deleted) does not invalidate the cached
+		// observation — the reconcile already wrote the change through.
+		if key := expectKey(note.Module.Device, note.Kind, note.Detail); n.expectNotify[key] > 0 {
+			n.expectNotify[key]--
+			if n.expectNotify[key] == 0 {
+				delete(n.expectNotify, key)
+			}
+		} else {
+			n.bumpObsLocked(note.Module.Device)
+		}
 		n.publishLocked(Event{
 			Kind: EventNotify, Device: note.Module.Device,
 			Module: note.Module, What: note.Kind, Detail: note.Detail,
@@ -510,6 +592,7 @@ func (n *NM) handle(env msg.Envelope) {
 		n.mu.Lock()
 		n.counters.TriggerRecv++
 		n.triggers = appendBounded(n.triggers, t)
+		n.bumpObsLocked(t.Module.Device)
 		n.publishLocked(Event{
 			Kind: EventTrigger, Device: t.Module.Device,
 			Module: t.Module, Component: t.Component,
@@ -554,6 +637,31 @@ func (n *NM) handle(env msg.Envelope) {
 		// Responses to the NM's own requests.
 		n.wake(env)
 	}
+}
+
+// bumpObsLocked advances a device's observation generation (caller
+// holds n.mu), invalidating any cached observation of it.
+func (n *NM) bumpObsLocked(dev core.DeviceID) {
+	n.obsGens[dev]++
+}
+
+// expectKey keys the expectNotify suppression map.
+func expectKey(dev core.DeviceID, kind, detail string) string {
+	return string(dev) + "|" + kind + "|" + detail
+}
+
+// InvalidateObservations discards the store's confidence in every
+// cached device observation, forcing the next reconcile pass to
+// re-observe whatever it touches. The daemon's poll path calls this on
+// each tick: a poll audit that trusted the cache would only ever see
+// drift that also produced an event, which is exactly what polling is
+// meant not to rely on.
+func (n *NM) InvalidateObservations() {
+	n.mu.Lock()
+	for d := range n.devices {
+		n.obsGens[d]++
+	}
+	n.mu.Unlock()
 }
 
 func (n *NM) wake(env msg.Envelope) {
@@ -620,6 +728,7 @@ func (n *NM) ShowPotential(dev core.DeviceID) ([]core.Abstraction, error) {
 	}
 	n.mu.Lock()
 	n.deviceInfo(dev).Modules = body.Modules
+	n.compileGen++
 	n.mu.Unlock()
 	return body.Modules, nil
 }

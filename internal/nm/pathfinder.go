@@ -310,10 +310,18 @@ func (g *Graph) resolveEndpoints(spec FindSpec) (*Node, core.PipeID, error) {
 		return nil, "", fmt.Errorf("nm: unknown module %s", spec.To)
 	}
 	var entryPipe core.PipeID
-	for _, pa := range g.Phys(from) {
-		if pa.External && (spec.FromPipe == "" || pa.Pipe == spec.FromPipe) {
+	if spec.FromPipe != "" {
+		// Pinned entry port: direct lookup instead of scanning an edge
+		// switch's customer ports.
+		if pa, ok := g.PhysAt(from, spec.FromPipe); ok && pa.External {
 			entryPipe = pa.Pipe
-			break
+		}
+	} else {
+		for _, pa := range g.Phys(from) {
+			if pa.External {
+				entryPipe = pa.Pipe
+				break
+			}
 		}
 	}
 	if entryPipe == "" {

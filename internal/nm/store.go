@@ -2,14 +2,17 @@ package nm
 
 // The intent store: the NM holds the full set of high-level goals and
 // derives device configuration from their union (the paper's "NM holds
-// all the goals" model, §III). Submit and Withdraw register and remove
-// goals; Reconcile compiles every registered intent, merges the desired
-// configuration per device with ownership tracking, diffs the union
-// against observed state once, and sends create/delete batches that only
-// remove components *no* registered intent wants. Intents sharing
-// transit devices therefore coexist, and withdrawing one goal removes
-// exactly its unshared components. NM.Plan remains available as the
-// per-intent dry-run view of the same machinery.
+// all the goals" model, §III). Submit, Update and Withdraw register,
+// replace and remove goals; Reconcile merges the desired configuration
+// per device with ownership tracking, diffs the union against observed
+// state, and sends create/delete batches that only remove components
+// *no* registered intent wants. Intents sharing transit devices
+// therefore coexist, and withdrawing one goal removes exactly its
+// unshared components. The work is incremental (storestate.go): only
+// dirty intents recompile, only devices whose observation generation
+// moved re-observe, and every mutation is journaled through the
+// datastore package when persistence is attached. NM.Plan remains
+// available as the per-intent dry-run view of the same machinery.
 
 import (
 	"fmt"
@@ -18,43 +21,102 @@ import (
 
 	"conman/internal/core"
 	"conman/internal/msg"
+	"conman/internal/nm/datastore"
 )
 
-// Submit registers an intent (a named connectivity goal) in the NM's
-// intent store, replacing any registered intent of the same name in
-// place. Submitting sends nothing: the store only changes desired
-// state, and the next Reconcile moves the network toward it.
+// DuplicateIntentError reports a Submit of an intent name that is
+// already registered. Replacing a live intent is a distinct operation
+// (Update) so a name collision between unrelated goals cannot silently
+// overwrite desired state.
+type DuplicateIntentError struct{ Name string }
+
+func (e *DuplicateIntentError) Error() string {
+	return fmt.Sprintf("nm: submit: intent %q is already registered (use Update to replace it)", e.Name)
+}
+
+// UnknownIntentError reports an operation on an intent name the store
+// does not hold.
+type UnknownIntentError struct {
+	Op   string // "withdraw" or "update"
+	Name string
+}
+
+func (e *UnknownIntentError) Error() string {
+	return fmt.Sprintf("nm: %s: no intent %q registered", e.Op, e.Name)
+}
+
+// Submit registers a new intent (a named connectivity goal) in the NM's
+// intent store. Submitting an already-registered name is a typed
+// DuplicateIntentError — use Update to replace a live intent.
+// Submitting sends nothing: the store only changes desired state, and
+// the next Reconcile moves the network toward it.
 func (n *NM) Submit(intent Intent) error {
 	if intent.Name == "" {
 		return fmt.Errorf("nm: submit: intent needs a name")
 	}
 	n.mu.Lock()
-	defer n.mu.Unlock()
+	if _, ok := n.store[intent.Name]; ok {
+		n.mu.Unlock()
+		return &DuplicateIntentError{Name: intent.Name}
+	}
+	n.storePos[intent.Name] = len(n.storeOrder)
+	n.storeOrder = append(n.storeOrder, intent.Name)
+	n.store[intent.Name] = intent
+	n.ssDirty[intent.Name] = true
+	// A withdraw-then-resubmit within one reconcile window is a
+	// replacement; the dirty mark alone covers it.
+	delete(n.ssRemoved, intent.Name)
+	err := n.journalLocked(datastore.OpSubmit, intent.Name, intent, 0)
+	n.mu.Unlock()
+	return err
+}
+
+// Update replaces a registered intent's goal in place, keeping its
+// submission position. Updating an unknown name is a typed
+// UnknownIntentError.
+func (n *NM) Update(intent Intent) error {
+	if intent.Name == "" {
+		return fmt.Errorf("nm: update: intent needs a name")
+	}
+	n.mu.Lock()
 	if _, ok := n.store[intent.Name]; !ok {
-		n.storeOrder = append(n.storeOrder, intent.Name)
+		n.mu.Unlock()
+		return &UnknownIntentError{Op: "update", Name: intent.Name}
 	}
 	n.store[intent.Name] = intent
-	return nil
+	n.ssDirty[intent.Name] = true
+	err := n.journalLocked(datastore.OpUpdate, intent.Name, intent, 0)
+	n.mu.Unlock()
+	return err
 }
 
 // Withdraw removes the named intent from the store. Its configuration
 // stays on the devices until the next Reconcile, which prunes exactly
 // the components no remaining intent wants (shared pipes and switch
-// rules survive as long as another goal still needs them).
+// rules survive as long as another goal still needs them). Withdrawing
+// an unknown name is a typed UnknownIntentError.
 func (n *NM) Withdraw(name string) error {
 	n.mu.Lock()
-	defer n.mu.Unlock()
 	if _, ok := n.store[name]; !ok {
-		return fmt.Errorf("nm: withdraw: no intent %q registered", name)
+		n.mu.Unlock()
+		return &UnknownIntentError{Op: "withdraw", Name: name}
 	}
 	delete(n.store, name)
+	delete(n.ssDirty, name)
+	n.ssRemoved[name] = true
+	delete(n.storePos, name)
 	for i, s := range n.storeOrder {
 		if s == name {
 			n.storeOrder = append(n.storeOrder[:i], n.storeOrder[i+1:]...)
+			for j := i; j < len(n.storeOrder); j++ {
+				n.storePos[n.storeOrder[j]] = j
+			}
 			break
 		}
 	}
-	return nil
+	err := n.journalLocked(datastore.OpWithdraw, name, nil, 0)
+	n.mu.Unlock()
+	return err
 }
 
 // Registered returns the store's intents in submission order.
@@ -92,8 +154,10 @@ type IntentView struct {
 // it sends no configuration commands — and it doubles as the dry-run
 // rendering of what Reconcile would do.
 type StorePlan struct {
-	// Views holds the per-intent breakdown, in submission order.
-	Views []IntentView
+	// Views holds the per-intent breakdown, in submission order. The
+	// slice and its elements are shared, immutable snapshots (the store
+	// mutates copy-on-write): read freely, never write through them.
+	Views []*IntentView
 	// Deletes are per-device batches removing components no registered
 	// intent wants (switch rules before the pipes they reference).
 	Deletes []DeviceScript
@@ -110,10 +174,17 @@ type StorePlan struct {
 	// partitioned. Their stale state could not be pruned this pass; the
 	// NM remembers them and retries once they answer again.
 	Unreachable []core.DeviceID
+	// Stats reports how much work computing the plan actually did — the
+	// incremental store's cost model (O(changed), not O(store)).
+	Stats StoreStats
 
-	// records is the per-intent device occupancy a successful
-	// ApplyStore commits to the NM's memory.
+	// records is the device occupancy of intents whose contributions
+	// changed this pass (a delta, not the whole store); a successful
+	// ApplyStore merges it into the NM's memory.
 	records map[string][]core.DeviceID
+	// removedIntents are withdrawn intents whose occupancy records a
+	// successful ApplyStore retires.
+	removedIntents []string
 	// pruned lists stranded devices that were observed (and cleaned)
 	// this pass; ApplyStore clears their stale mark.
 	pruned []core.DeviceID
@@ -121,6 +192,44 @@ type StorePlan struct {
 	// resolved handles from; ApplyStore installs triggers for them
 	// (§II-E).
 	handleDeps []handleDep
+	// createBinds aligns, per device, with that device's Creates items:
+	// the union components each created item realises, so ApplyStore can
+	// bind them to the ids the device reports (write-through instead of
+	// a re-observe).
+	createBinds map[core.DeviceID][]bindTarget
+	// pass ties the plan to the storeState generation it was computed
+	// from; ApplyStore refuses a plan superseded by a newer PlanStore.
+	pass uint64
+	// applied guards against executing the same plan's batches twice.
+	applied bool
+}
+
+// StoreStats quantifies one PlanStore pass.
+type StoreStats struct {
+	// Recompiled counts intents compiled this pass (dirty ones only,
+	// unless a compile-input change forced a full rebuild).
+	Recompiled int
+	// Observed counts devices fetched fresh via showActual (including
+	// stranded devices, which are always probed for liveness).
+	Observed int
+	// CacheHits / CacheMisses count occupied devices served from the
+	// observation cache vs re-observed because their generation moved.
+	CacheHits   int
+	CacheMisses int
+	// DiffedDevices counts devices whose union was diffed at all;
+	// devices with a valid cache and no pending changes are skipped.
+	DiffedDevices int
+	// FullRebuild reports that compile inputs changed (topology, module
+	// discovery, domain bindings) and the whole union was rebuilt.
+	FullRebuild bool
+}
+
+// bindTarget is the union component a created batch item realises.
+// Exactly one field is set.
+type bindTarget struct {
+	pipe  *unionPipe
+	rule  *unionRule
+	other *unionOther
 }
 
 // Empty reports whether applying the store plan would send no commands.
@@ -181,6 +290,10 @@ type unionPipe struct {
 	// is already in place, a freshly allocated one otherwise.
 	id      core.PipeID
 	inPlace bool
+	// key caches pipeKey(req); gone tombstones a pipe whose last owner
+	// withdrew (the incremental store never reslices items).
+	key  string
+	gone bool
 }
 
 // unionRule is one desired switch rule in the union. From/To referring
@@ -194,6 +307,13 @@ type unionRule struct {
 	viaResolved      string
 	owners           []string
 	kept             bool
+	// boundID is the installed rule id this desired rule is bound to
+	// while kept, so a later withdrawal can delete it without an
+	// observation sweep.
+	boundID string
+	// key caches ruleUnionKey; gone tombstones a withdrawn rule.
+	key  string
+	gone bool
 }
 
 // resolved returns the rule with From/To rewritten to the final wire
@@ -219,20 +339,62 @@ type unionItem struct {
 }
 
 // unionOther is a non-diffed desired item (filters and future command
-// kinds); it always executes, attributed to the intent that wants it.
+// kinds); it executes once, attributed to the intent that wants it.
 type unionOther struct {
 	item     msg.CommandItem
 	rendered string
 	owner    string
+	done     bool
+	gone     bool
 }
 
 // deviceUnion is the merged desired configuration of one device across
-// every registered intent, with ownership per component.
+// every registered intent, with ownership per component. The full-pass
+// fields (items/pipes/rules) carry the union itself; the rest is the
+// incremental bookkeeping the delta diff consumes.
 type deviceUnion struct {
 	dev   core.DeviceID
 	items []unionItem
 	pipes map[string]*unionPipe
 	rules map[string]*unionRule
+
+	// newItems are components merged since the last diff resolved them:
+	// each is still waiting to be bound to an observed component or
+	// created on the device.
+	newItems []unionItem
+	// pendingDelRules/pendingDelPipes are bound components whose last
+	// owner withdrew; the next pass deletes them (rules before pipes)
+	// without a full sweep.
+	pendingDelRules []core.DeleteRequest
+	pendingDelPipes []core.DeleteRequest
+	// classes indexes value-carrying classifier rules by (module, entry,
+	// classifier, resolution) for incremental conflict detection.
+	classes map[string][]*unionRule
+	// bound counts desired components currently bound to device state;
+	// live counts non-tombstoned items; dead counts tombstones awaiting
+	// compaction.
+	bound int
+	live  int
+	dead  int
+}
+
+// hasWork reports whether the delta diff has anything to do on this
+// device.
+func (du *deviceUnion) hasWork() bool {
+	return len(du.newItems) > 0 || len(du.pendingDelRules) > 0 || len(du.pendingDelPipes) > 0
+}
+
+// gone reports whether an item is tombstoned.
+func (it unionItem) isGone() bool {
+	switch {
+	case it.pipe != nil:
+		return it.pipe.gone
+	case it.rule != nil:
+		return it.rule.gone
+	case it.other != nil:
+		return it.other.gone
+	}
+	return true
 }
 
 // pipeKey is the canonical content identity of a desired pipe.
@@ -304,24 +466,6 @@ func (du *deviceUnion) conflicts() error {
 		it  *unionRule
 	}
 	seen := make(map[string]target)
-	ident := func(lit core.PipeID, up *unionPipe) string {
-		if up != nil {
-			return "pipe:" + pipeKey(up.req)
-		}
-		return string(lit)
-	}
-	// describe renders a rule target for the error message: the pipe's
-	// structural endpoints rather than a compile-local id.
-	describe := func(lit core.PipeID, up *unionPipe, via string) string {
-		out := string(lit)
-		if up != nil {
-			out = fmt.Sprintf("the %s~%s pipe", up.req.Upper, up.req.Lower)
-		}
-		if i := strings.IndexByte(via, '/'); i > 0 {
-			out += " via " + via[:i]
-		}
-		return out
-	}
 	for _, it := range du.items {
 		r := it.rule
 		// Only value-carrying classifiers are exclusive: dst-domain
@@ -329,12 +473,11 @@ func (du *deviceUnion) conflicts() error {
 		// Valueless classifiers ("Tagged") select a traffic class that
 		// L2 delivery further discriminates — the multi-tenant edge
 		// legitimately fans one trunk out to several customer ports.
-		if r == nil || r.rule.Match == nil || r.rule.Match.Value == "" {
+		if r == nil || r.gone || r.rule.Match == nil || r.rule.Match.Value == "" {
 			continue
 		}
-		key := r.rule.Module.String() + "|" + ident(r.rule.From, r.fromPipe) + "|" +
-			classifierKey(r.rule.Match) + "|" + r.matchResolved
-		tgt := target{to: ident(r.rule.To, r.toPipe), via: r.rule.Via + "/" + r.viaResolved, it: r}
+		key := ruleClassKey(r)
+		tgt := target{to: pipeIdent(r.rule.To, r.toPipe), via: r.rule.Via + "/" + r.viaResolved, it: r}
 		prev, ok := seen[key]
 		if !ok {
 			seen[key] = tgt
@@ -346,27 +489,36 @@ func (du *deviceUnion) conflicts() error {
 				Module:  r.rule.Module,
 				IntentA: prev.it.owners[0], IntentB: r.owners[0],
 				RuleA: prev.it.rule, RuleB: r.rule,
-				TargetA: describe(prev.it.rule.To, prev.it.toPipe, prev.via),
-				TargetB: describe(r.rule.To, r.toPipe, tgt.via),
+				TargetA: describeTarget(prev.it.rule.To, prev.it.toPipe, prev.via),
+				TargetB: describeTarget(r.rule.To, r.toPipe, tgt.via),
 			}
 		}
 	}
 	return nil
 }
 
-// addOwner appends an intent name once.
-func addOwner(owners []string, name string) []string {
-	for _, o := range owners {
-		if o == name {
-			return owners
-		}
-	}
-	return append(owners, name)
-}
-
 // mergeScripts folds one intent's compiled device scripts into the
 // per-device unions, recording ownership (refcounting) per component.
 func mergeScripts(unions map[core.DeviceID]*deviceUnion, order *[]core.DeviceID, name string, scripts []DeviceScript) {
+	_ = mergeScriptsCtx(nil, unions, order, name, scripts)
+}
+
+// mergeScriptsCtx is mergeScripts with incremental bookkeeping: when ss
+// is non-nil it records contribution refs (so a later withdraw/update
+// can remove exactly this intent's share), maintains the sharing
+// tallies and the per-device conflict-class index, and reports
+// classifier conflicts as they merge. A conflict aborts the merge with
+// this intent's partial contributions rolled back.
+func mergeScriptsCtx(ss *storeState, unions map[core.DeviceID]*deviceUnion, order *[]core.DeviceID, name string, scripts []DeviceScript) error {
+	var contrib *intentContrib
+	if ss != nil {
+		contrib = ss.contribs[name]
+	}
+	record := func(du *deviceUnion, it unionItem) {
+		if contrib != nil {
+			contrib.refs = append(contrib.refs, contribRef{du: du, it: it})
+		}
+	}
 	for _, ds := range scripts {
 		du := unions[ds.Device]
 		if du == nil {
@@ -387,11 +539,16 @@ func mergeScripts(unions map[core.DeviceID]*deviceUnion, order *[]core.DeviceID,
 				key := pipeKey(item.Pipe.Req)
 				up := du.pipes[key]
 				if up == nil {
-					up = &unionPipe{req: item.Pipe.Req}
+					up = &unionPipe{req: item.Pipe.Req, key: key}
 					du.pipes[key] = up
 					du.items = append(du.items, unionItem{pipe: up})
+					du.newItems = append(du.newItems, unionItem{pipe: up})
+					du.live++
 				}
-				up.owners = addOwner(up.owners, name)
+				if added := addOwnerLen(&up.owners, name); added {
+					ss.ownerAdded(up.owners)
+					record(du, unionItem{pipe: up})
+				}
 				local[item.Pipe.ID] = up
 			case item.Switch != nil:
 				fp, tp := local[item.Switch.Rule.From], local[item.Switch.Rule.To]
@@ -402,18 +559,34 @@ func mergeScripts(unions map[core.DeviceID]*deviceUnion, order *[]core.DeviceID,
 						rule: item.Switch.Rule, fromPipe: fp, toPipe: tp,
 						matchResolved: item.Switch.MatchResolved,
 						viaResolved:   item.Switch.ViaResolved,
+						key:           key,
+					}
+					if ss != nil {
+						if err := du.classAdd(ur, name); err != nil {
+							ss.rollbackContrib(name)
+							return err
+						}
 					}
 					du.rules[key] = ur
 					du.items = append(du.items, unionItem{rule: ur})
+					du.newItems = append(du.newItems, unionItem{rule: ur})
+					du.live++
 				}
-				ur.owners = addOwner(ur.owners, name)
+				if added := addOwnerLen(&ur.owners, name); added {
+					ss.ownerAdded(ur.owners)
+					record(du, unionItem{rule: ur})
+				}
 			default:
-				du.items = append(du.items, unionItem{other: &unionOther{
-					item: item, rendered: ds.Rendered[i], owner: name,
-				}})
+				uo := &unionOther{item: item, rendered: ds.Rendered[i], owner: name}
+				du.items = append(du.items, unionItem{other: uo})
+				du.newItems = append(du.newItems, unionItem{other: uo})
+				du.live++
+				ss.ownerAdded([]string{name})
+				record(du, unionItem{other: uo})
 			}
 		}
 	}
+	return nil
 }
 
 // ownersSuffix annotates a rendered create line with the owning intents
@@ -425,31 +598,54 @@ func ownersSuffix(owners []string) string {
 	return "  [shared: " + strings.Join(owners, ", ") + "]"
 }
 
-// diff reconciles one device's union against its observed state,
-// appending delete/create batches to the plan. Pipes are matched by
-// content (adopting observed wire ids so surviving configuration is
-// untouched); anything observed that no desired component claims is
-// stale and deleted, rules before pipes. The NM is consulted for
-// handle-freshness probes on rules that embed exported low-level
-// fields (§II-E).
+// diff reconciles one device's whole union against its observed state
+// (the full rematch), appending delete/create batches to the plan.
+// Pipes are matched by content (adopting observed wire ids so surviving
+// configuration is untouched); anything observed that no desired
+// component claims is stale and deleted, rules before pipes. The NM is
+// consulted for handle-freshness probes on rules that embed exported
+// low-level fields (§II-E). On return the union's incremental
+// bookkeeping is rebuilt from scratch: newItems holds exactly the
+// create-pending components and pendingDel* exactly the queued
+// deletions, so a plan that is never applied re-emits the same work
+// through the delta path next pass.
 func (du *deviceUnion) diff(n *NM, o *observed, plan *StorePlan) {
+	o.ensureIndex()
+	o.compactRules()
+	// Reset every binding: the rematch re-derives them all.
+	o.claimed = make(map[core.PipeID]bool)
+	for j := range o.rules {
+		o.rules[j].used = false
+	}
+	du.bound = 0
+	du.pendingDelRules, du.pendingDelPipes = nil, nil
+	for _, it := range du.items {
+		switch {
+		case it.pipe != nil:
+			it.pipe.inPlace = false
+			it.pipe.id = ""
+		case it.rule != nil:
+			it.rule.kept = false
+			it.rule.boundID = ""
+		}
+	}
 	// Pipe pass 1: bind desired pipes to observed ones by content.
-	claimed := make(map[core.PipeID]bool)
 	obsIDs := make([]core.PipeID, 0, len(o.pipes))
 	for id := range o.pipes {
 		obsIDs = append(obsIDs, id)
 	}
 	sort.Slice(obsIDs, func(i, j int) bool { return obsIDs[i] < obsIDs[j] })
 	for _, it := range du.items {
-		if it.pipe == nil {
+		if it.pipe == nil || it.pipe.gone {
 			continue
 		}
 		for _, id := range obsIDs {
-			if claimed[id] {
+			if o.claimed[id] {
 				continue
 			}
 			if o.pipes[id].matches(it.pipe.req) {
-				it.pipe.id, it.pipe.inPlace, claimed[id] = id, true, true
+				it.pipe.id, it.pipe.inPlace, o.claimed[id] = id, true, true
+				du.bound++
 				plan.InPlace++
 				break
 			}
@@ -464,7 +660,7 @@ func (du *deviceUnion) diff(n *NM, o *observed, plan *StorePlan) {
 	}
 	next := 0
 	for _, it := range du.items {
-		if it.pipe == nil || it.pipe.inPlace {
+		if it.pipe == nil || it.pipe.gone || it.pipe.inPlace {
 			continue
 		}
 		for {
@@ -477,12 +673,15 @@ func (du *deviceUnion) diff(n *NM, o *observed, plan *StorePlan) {
 			}
 		}
 	}
+	for id := range used {
+		o.usedIDs[id] = true
+	}
 	// Rule pass: a desired rule is kept iff an identical installed rule
 	// exists and every NM-created pipe it references is in place (a rule
 	// on a freshly created pipe resolves to a fresh id no installed rule
 	// can match).
 	for _, it := range du.items {
-		if it.rule == nil {
+		if it.rule == nil || it.rule.gone {
 			continue
 		}
 		// The rule consumes exported handles when it steers into a pipe
@@ -498,23 +697,17 @@ func (du *deviceUnion) diff(n *NM, o *observed, plan *StorePlan) {
 				it.rule.toPipe.req.Lower, "pipe:" + string(it.rule.toPipe.id),
 			})
 		}
-		if (it.rule.fromPipe != nil && !it.rule.fromPipe.inPlace) ||
-			(it.rule.toPipe != nil && !it.rule.toPipe.inPlace) {
+		if !pipesReady(it.rule) {
 			continue
 		}
 		rr := it.rule.resolved()
-		for j := range o.rules {
+		// The index key carries module, endpoints, classifier and the
+		// concrete resolutions, so resolved-value drift (SetDomain /
+		// SetGateway changed since install) simply fails to match and the
+		// rule is replaced.
+		for _, j := range o.ruleIdx[desiredRuleKey(rr, it.rule.matchResolved, it.rule.viaResolved)] {
 			or := &o.rules[j]
-			if or.used || or.module != rr.Module || or.from != rr.From || or.to != rr.To {
-				continue
-			}
-			if or.match != classifierKey(rr.Match) || or.via != rr.Via {
-				continue
-			}
-			// Resolved-value drift (SetDomain/SetGateway changed since
-			// install): the abstract rule matches but its concrete
-			// resolution no longer does — replace it.
-			if or.matchResolved != it.rule.matchResolved || or.viaResolved != it.rule.viaResolved {
+			if or.used || or.id == "" {
 				continue
 			}
 			// Stale embedded handle (§II-E): the provider below the To
@@ -527,49 +720,56 @@ func (du *deviceUnion) diff(n *NM, o *observed, plan *StorePlan) {
 				continue
 			}
 			or.used = true
-			it.rule.kept = true
+			it.rule.kept, it.rule.boundID = true, or.id
+			du.bound++
 			plan.InPlace++
 			break
 		}
 	}
 	// Stale observed state: rules no desired component kept, then pipes
-	// no desired component claimed.
+	// no desired component claimed. Recorded as pending deletions too,
+	// so a dropped plan re-queues them instead of losing them.
 	del := DeviceScript{Device: du.dev}
 	for j := range o.rules {
 		or := &o.rules[j]
-		if or.used {
+		if or.used || or.id == "" {
 			continue
 		}
-		di, rendered := deleteItem(core.DeleteRequest{
-			Kind: core.ComponentSwitchRule, Module: or.module, ID: or.id,
-		})
+		req := core.DeleteRequest{Kind: core.ComponentSwitchRule, Module: or.module, ID: or.id}
+		du.pendingDelRules = append(du.pendingDelRules, req)
+		di, rendered := deleteItem(req)
 		del.Items = append(del.Items, di)
 		del.Rendered = append(del.Rendered, rendered)
 	}
 	for _, id := range obsIDs {
-		if claimed[id] || o.pipes[id].lower.IsZero() {
+		if o.claimed[id] || o.pipes[id].lower.IsZero() {
 			continue
 		}
-		di, rendered := deleteItem(core.DeleteRequest{
-			Kind: core.ComponentPipe, Module: o.pipes[id].lower, ID: string(id),
-		})
+		req := core.DeleteRequest{Kind: core.ComponentPipe, Module: o.pipes[id].lower, ID: string(id)}
+		du.pendingDelPipes = append(du.pendingDelPipes, req)
+		di, rendered := deleteItem(req)
 		del.Items = append(del.Items, di)
 		del.Rendered = append(del.Rendered, rendered)
 	}
 	if len(del.Items) > 0 {
 		plan.Deletes = append(plan.Deletes, del)
 	}
-	// Creates, in first-appearance order across the intents.
+	// Creates, in first-appearance order across the intents; newItems is
+	// rebuilt to exactly this create-pending set.
 	creates := DeviceScript{Device: du.dev}
+	var binds []bindTarget
+	newItems := du.newItems[:0]
 	for _, it := range du.items {
 		switch {
-		case it.pipe != nil && !it.pipe.inPlace:
+		case it.pipe != nil && !it.pipe.gone && !it.pipe.inPlace:
 			creates.Items = append(creates.Items, msg.CommandItem{
 				Pipe: &msg.CreatePipeItem{ID: it.pipe.id, Req: it.pipe.req},
 			})
 			creates.Rendered = append(creates.Rendered,
 				renderPipeCreate(it.pipe.id, it.pipe.req)+ownersSuffix(it.pipe.owners))
-		case it.rule != nil && !it.rule.kept:
+			binds = append(binds, bindTarget{pipe: it.pipe})
+			newItems = append(newItems, it)
+		case it.rule != nil && !it.rule.gone && !it.rule.kept:
 			rr := it.rule.resolved()
 			creates.Items = append(creates.Items, msg.CommandItem{
 				Switch: &msg.CreateSwitchReq{
@@ -580,181 +780,21 @@ func (du *deviceUnion) diff(n *NM, o *observed, plan *StorePlan) {
 			})
 			creates.Rendered = append(creates.Rendered,
 				renderSwitchCreate(rr)+ownersSuffix(it.rule.owners))
-		case it.other != nil:
+			binds = append(binds, bindTarget{rule: it.rule})
+			newItems = append(newItems, it)
+		case it.other != nil && !it.other.gone && !it.other.done:
 			creates.Items = append(creates.Items, it.other.item)
 			creates.Rendered = append(creates.Rendered, it.other.rendered)
+			binds = append(binds, bindTarget{other: it.other})
+			newItems = append(newItems, it)
 		}
 	}
+	du.newItems = newItems
 	if len(creates.Items) > 0 {
 		plan.Creates = append(plan.Creates, creates)
-	}
-}
-
-// recordedDevices returns devices some previously applied intent
-// (registered or since withdrawn) touched but no current desired script
-// occupies, in sorted order. Everything observed on them is stale.
-func (n *NM) recordedDevices(current []core.DeviceID) []core.DeviceID {
-	cur := make(map[core.DeviceID]bool, len(current))
-	for _, d := range current {
-		cur[d] = true
-	}
-	n.mu.Lock()
-	seen := make(map[core.DeviceID]bool)
-	var out []core.DeviceID
-	for _, devs := range n.intentDevs {
-		for d := range devs {
-			if !cur[d] && !seen[d] {
-				seen[d] = true
-				out = append(out, d)
-			}
+		if plan.createBinds == nil {
+			plan.createBinds = make(map[core.DeviceID][]bindTarget)
 		}
+		plan.createBinds[du.dev] = binds
 	}
-	// Devices that were unreachable when a previous pass wanted to prune
-	// them: keep trying until they answer.
-	for d := range n.staleDevs {
-		if !cur[d] && !seen[d] {
-			seen[d] = true
-			out = append(out, d)
-		}
-	}
-	n.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
-
-// PlanStore computes the store-wide reconciliation diff: it compiles
-// every registered intent, merges the desired configuration per device
-// (deduplicating pipes and switch rules by content, with ownership
-// refcounts), observes every relevant device once — including devices
-// only a withdrawn or rerouted intent occupied — and diffs the union
-// against reality. Planning sends no configuration commands.
-func (n *NM) PlanStore() (*StorePlan, error) {
-	intents := n.Registered()
-	plan := &StorePlan{records: make(map[string][]core.DeviceID, len(intents))}
-	unions := make(map[core.DeviceID]*deviceUnion)
-	var order []core.DeviceID
-	for _, intent := range intents {
-		path, scripts, err := n.compileIntent(intent)
-		if err != nil {
-			return nil, fmt.Errorf("nm: reconcile: %w", err)
-		}
-		devs := scriptDevices(scripts)
-		plan.Views = append(plan.Views, IntentView{Intent: intent, Path: path, Devices: devs})
-		plan.records[intent.Name] = devs
-		mergeScripts(unions, &order, intent.Name, scripts)
-	}
-	// Conflict detection before anything is observed or sent: two goals
-	// steering the same classified traffic to different places is a
-	// specification error, reported as a typed ConflictError.
-	for _, dev := range order {
-		if err := unions[dev].conflicts(); err != nil {
-			return nil, err
-		}
-	}
-	stranded := n.recordedDevices(order)
-	obs, unreachable, err := n.observe(append(append([]core.DeviceID(nil), order...), stranded...), optionalSet(stranded))
-	if err != nil {
-		return nil, err
-	}
-	plan.Unreachable = unreachable
-	// Devices no registered intent occupies any more: everything on
-	// them is stale. Unreachable ones are skipped and remembered.
-	for _, dev := range stranded {
-		o := obs[dev]
-		if o == nil {
-			continue
-		}
-		plan.pruned = append(plan.pruned, dev)
-		if del := pruneAll(dev, o); len(del.Items) > 0 {
-			plan.Deletes = append(plan.Deletes, del)
-		}
-	}
-	for _, dev := range order {
-		unions[dev].diff(n, obs[dev], plan)
-	}
-	// Sharing accounting, per intent and store-wide.
-	viewOf := make(map[string]*IntentView, len(plan.Views))
-	for i := range plan.Views {
-		viewOf[plan.Views[i].Intent.Name] = &plan.Views[i]
-	}
-	tally := func(owners []string) {
-		if len(owners) > 1 {
-			plan.Shared++
-		}
-		for _, o := range owners {
-			if v := viewOf[o]; v != nil {
-				if len(owners) > 1 {
-					v.Shared++
-				} else {
-					v.Exclusive++
-				}
-			}
-		}
-	}
-	for _, dev := range order {
-		for _, it := range unions[dev].items {
-			switch {
-			case it.pipe != nil:
-				tally(it.pipe.owners)
-			case it.rule != nil:
-				tally(it.rule.owners)
-			case it.other != nil:
-				tally([]string{it.other.owner})
-			}
-		}
-	}
-	return plan, nil
-}
-
-// ApplyStore executes a store plan through the wave executor — stale
-// components deleted first, missing ones created — and commits the
-// per-intent device records the plan computed, replacing the NM's
-// previous occupancy memory (withdrawn intents' records drop out here,
-// after their components were pruned).
-func (n *NM) ApplyStore(plan *StorePlan) error {
-	if len(plan.Deletes) > 0 {
-		if err := n.Execute(plan.Deletes); err != nil {
-			return fmt.Errorf("nm: reconcile (teardown phase): %w", err)
-		}
-	}
-	if len(plan.Creates) > 0 {
-		if err := n.Execute(plan.Creates); err != nil {
-			return fmt.Errorf("nm: reconcile: %w", err)
-		}
-	}
-	// Dependency maintenance (§II-E): watch every provider component a
-	// desired rule embeds handles from, so churn fires a Trigger.
-	if err := n.installHandleTriggers(plan.handleDeps); err != nil {
-		return fmt.Errorf("nm: reconcile (triggers): %w", err)
-	}
-	n.markStale(plan.pruned, plan.Unreachable)
-	n.mu.Lock()
-	n.intentDevs = make(map[string]map[core.DeviceID]bool, len(plan.records))
-	for name, devs := range plan.records {
-		set := make(map[core.DeviceID]bool, len(devs))
-		for _, d := range devs {
-			set[d] = true
-		}
-		n.intentDevs[name] = set
-	}
-	n.mu.Unlock()
-	return nil
-}
-
-// Reconcile moves the network to the union of all registered intents:
-// PlanStore followed by ApplyStore, returning the plan that was
-// executed. Reconcile treats the store as the complete desired state —
-// components no registered intent wants are pruned, and components two
-// goals share are configured once and survive until the last owner is
-// withdrawn. Reconcile is idempotent: immediately reconciling again
-// sends zero commands.
-func (n *NM) Reconcile() (*StorePlan, error) {
-	plan, err := n.PlanStore()
-	if err != nil {
-		return nil, err
-	}
-	if err := n.ApplyStore(plan); err != nil {
-		return plan, err
-	}
-	return plan, nil
 }

@@ -1,6 +1,7 @@
 package nm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -21,9 +22,15 @@ func TestSubmitWithdrawBookkeeping(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	// Resubmitting replaces in place, keeping submission order.
-	a2 := Intent{Name: "a", Prefer: "MPLS"}
-	if err := n.Submit(a2); err != nil {
+	// Resubmitting a live name is a typed error, not a silent overwrite.
+	var dup *DuplicateIntentError
+	if err := n.Submit(Intent{Name: "a", Prefer: "MPLS"}); !errors.As(err, &dup) {
+		t.Fatalf("double submit = %v, want *DuplicateIntentError", err)
+	} else if dup.Name != "a" {
+		t.Errorf("duplicate error names %q, want a", dup.Name)
+	}
+	// Update replaces in place, keeping submission order.
+	if err := n.Update(Intent{Name: "a", Prefer: "MPLS"}); err != nil {
 		t.Fatal(err)
 	}
 	got := n.Registered()
@@ -31,10 +38,20 @@ func TestSubmitWithdrawBookkeeping(t *testing.T) {
 		t.Fatalf("registered = %+v, want [a b]", got)
 	}
 	if got[0].Prefer != "MPLS" {
-		t.Errorf("resubmit did not replace: prefer = %q", got[0].Prefer)
+		t.Errorf("update did not replace: prefer = %q", got[0].Prefer)
 	}
-	if err := n.Withdraw("nope"); err == nil {
-		t.Error("withdraw of an unregistered intent did not error")
+	// Update and Withdraw of unknown names are typed errors too.
+	var unk *UnknownIntentError
+	if err := n.Update(Intent{Name: "nope"}); !errors.As(err, &unk) {
+		t.Fatalf("update of unknown = %v, want *UnknownIntentError", err)
+	} else if unk.Op != "update" || unk.Name != "nope" {
+		t.Errorf("unknown error = %+v, want op=update name=nope", unk)
+	}
+	unk = nil
+	if err := n.Withdraw("nope"); !errors.As(err, &unk) {
+		t.Fatalf("withdraw of unknown = %v, want *UnknownIntentError", err)
+	} else if unk.Op != "withdraw" {
+		t.Errorf("unknown error op = %q, want withdraw", unk.Op)
 	}
 	if err := n.Withdraw("a"); err != nil {
 		t.Fatal(err)
