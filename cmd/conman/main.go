@@ -449,6 +449,11 @@ func runDaemon(args []string) error {
 	}
 	defer tb.Close()
 	if *stateDir != "" {
+		lock, err := datastore.LockDir(*stateDir)
+		if err != nil {
+			return err
+		}
+		defer lock.Close()
 		backend, err := datastore.NewFileBackend(*stateDir)
 		if err != nil {
 			return err
@@ -626,7 +631,9 @@ func runDoctor(args []string) int {
 // the journal, `show` replays the registered intents as of a sequence
 // number, `rollback` appends a rollback record rewinding the intent set
 // (history is kept — the rollback is itself a journal entry the next
-// daemon start replays).
+// daemon start replays). All three take the state dir's exclusive lock,
+// so they fail fast while a daemon is live instead of racing its
+// journal writer.
 func runStoreAdmin(args []string) error {
 	if len(args) < 1 {
 		usage()
@@ -642,6 +649,14 @@ func runStoreAdmin(args []string) error {
 	if *dir == "" {
 		return fmt.Errorf("store %s needs -state-dir", sub)
 	}
+	// Exclude a live daemon (and other admin invocations): a second
+	// journal writer would hand out colliding sequence numbers, and a
+	// running daemon would never apply an offline rollback anyway.
+	lock, err := datastore.LockDir(*dir)
+	if err != nil {
+		return err
+	}
+	defer lock.Close()
 	backend, err := datastore.NewFileBackend(*dir)
 	if err != nil {
 		return err

@@ -130,7 +130,11 @@ func (l *Log) Append(op Op, name string, data any, to uint64) (Entry, error) {
 	l.seq++
 	e := Entry{Seq: l.seq, TimeUnix: time.Now().Unix(), Op: op, Name: name, Data: raw, To: to}
 	if err := l.b.Append(e); err != nil {
-		l.seq--
+		// The sequence number is burned, not reused: the backend may have
+		// written the entry before failing (e.g. the sync after a
+		// successful write), and a reused seq would then appear twice in
+		// the journal, confusing show/rollback -to targeting. Replay
+		// tolerates gaps.
 		return Entry{}, fmt.Errorf("datastore: append: %w", err)
 	}
 	l.sinceSnap++

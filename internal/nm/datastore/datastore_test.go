@@ -142,6 +142,170 @@ func TestFileBackendToleratesTornTail(t *testing.T) {
 	}
 }
 
+// TestTornTailTruncatedBeforeAppend is the second-restart-after-a-crash
+// regression: the torn line must be physically truncated on reopen, or
+// the next O_APPEND write concatenates onto it and the journal grows a
+// corrupt line in its middle that the following Open hard-fails on.
+func TestTornTailTruncatedBeforeAppend(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, OpSubmit, "a", json.RawMessage(`{}`), 0)
+	mustAppend(t, l, OpSubmit, "b", json.RawMessage(`{}`), 0)
+	l.Close()
+
+	path := filepath.Join(dir, "journal.jsonl")
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"seq":3,"op":"sub`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// First restart after the crash: the torn tail is gone from disk.
+	b2, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) == 0 || raw[len(raw)-1] != '\n' {
+		t.Fatalf("torn tail not truncated, journal ends %q", raw[len(raw)-10:])
+	}
+	l2, st2, err := Open(b2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.LastSeq != 2 {
+		t.Fatalf("after truncation last seq = %d, want 2", st2.LastSeq)
+	}
+	mustAppend(t, l2, OpSubmit, "c", json.RawMessage(`{}`), 0)
+	l2.Close()
+
+	// Second restart: every line must parse.
+	b3, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b3.Close()
+	_, st3, err := Open(b3)
+	if err != nil {
+		t.Fatalf("second restart after crash: %v", err)
+	}
+	if len(st3.Entries) != 3 || st3.LastSeq != 3 {
+		t.Fatalf("second restart: %d entries, last=%d, want 3/3", len(st3.Entries), st3.LastSeq)
+	}
+}
+
+// TestCorruptSnapshotFallsBackToJournal: an unreadable snapshot.json
+// must not brick the boot — the journal is retained in full, so the
+// intent set replays from empty.
+func TestCorruptSnapshotFallsBackToJournal(t *testing.T) {
+	dir := t.TempDir()
+	b, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, _, err := Open(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, OpSubmit, "a", json.RawMessage(`{"name":"a"}`), 0)
+	mustAppend(t, l, OpSubmit, "b", json.RawMessage(`{"name":"b"}`), 0)
+	if _, err := l.WriteSnapshot([]byte(`{"intents":[{"name":"a","data":{}},{"name":"b","data":{}}]}`)); err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, OpWithdraw, "a", nil, 0)
+	l.Close()
+
+	// Simulate a half-written snapshot (power loss made the rename
+	// durable but not the data).
+	if err := os.WriteFile(filepath.Join(dir, "snapshot.json"), []byte(`{"seq":2,"da`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	b2, err := NewFileBackend(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b2.Close()
+	_, st, err := Open(b2)
+	if err != nil {
+		t.Fatalf("open with corrupt snapshot: %v", err)
+	}
+	if st.SnapshotSeq != 0 || st.Snapshot != nil {
+		t.Fatalf("corrupt snapshot not discarded: seq=%d", st.SnapshotSeq)
+	}
+	recs, err := ReplayIntents(nil, st.Entries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Name != "b" {
+		t.Fatalf("journal-only replay = %+v, want just b", recs)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "snapshot.json.corrupt")); err != nil {
+		t.Errorf("corrupt snapshot not preserved aside: %v", err)
+	}
+}
+
+// flakyBackend fails an Append after the underlying write succeeded —
+// the sync-failed-after-write case a torn power loss produces.
+type flakyBackend struct {
+	*MemBackend
+	failNext bool
+}
+
+func (f *flakyBackend) Append(e Entry) error {
+	if err := f.MemBackend.Append(e); err != nil {
+		return err
+	}
+	if f.failNext {
+		f.failNext = false
+		return os.ErrDeadlineExceeded
+	}
+	return nil
+}
+
+func TestFailedAppendBurnsSeq(t *testing.T) {
+	fb := &flakyBackend{MemBackend: NewMemBackend()}
+	l, _, err := Open(fb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustAppend(t, l, OpSubmit, "a", json.RawMessage(`{}`), 0)
+	fb.failNext = true
+	if _, err := l.Append(OpSubmit, "ghost", json.RawMessage(`{}`), 0); err == nil {
+		t.Fatal("armed append did not fail")
+	}
+	e := mustAppend(t, l, OpSubmit, "c", json.RawMessage(`{}`), 0)
+	if e.Seq != 3 {
+		t.Fatalf("seq after failed append = %d, want 3 (seq 2 burned)", e.Seq)
+	}
+	entries, err := fb.Entries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[uint64]int{}
+	for _, got := range entries {
+		seen[got.Seq]++
+	}
+	for seq, n := range seen {
+		if n > 1 {
+			t.Fatalf("seq %d appears %d times in the journal", seq, n)
+		}
+	}
+}
+
 func TestSnapshotIntents(t *testing.T) {
 	got, err := SnapshotIntents([]byte(`{"version":1,"intents":[{"name":"x","data":{"goal":1}}],"extra":true}`))
 	if err != nil {

@@ -2,6 +2,7 @@ package datastore
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,11 +14,16 @@ import (
 // FileBackend stores the snapshot and journal in a state directory:
 //
 //	<dir>/snapshot.json  — {"seq": N, "data": <opaque JSON>}, replaced
-//	                       atomically via write-to-temp + rename
-//	<dir>/journal.jsonl  — one Entry per line, O_APPEND only
+//	                       atomically via fsynced write-to-temp + rename
+//	<dir>/journal.jsonl  — one JSON Entry per line, O_APPEND only, each
+//	                       line fsynced before the append is acknowledged
+//	<dir>/lock           — advisory flock taken by LockDir (daemon and
+//	                       store admin commands; not by this type)
 //
-// A torn final journal line (crash mid-append) is tolerated and
-// dropped on load; corruption anywhere else is an error.
+// A torn final journal line (crash mid-append) is truncated away on
+// open — it must not survive, or the next O_APPEND write would
+// concatenate onto it and turn a tolerated crash artifact into
+// mid-file corruption. Corruption anywhere else is an error.
 type FileBackend struct {
 	dir     string
 	journal *os.File
@@ -28,11 +34,63 @@ func NewFileBackend(dir string) (*FileBackend, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("datastore: create state dir: %w", err)
 	}
-	j, err := os.OpenFile(filepath.Join(dir, "journal.jsonl"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	path := filepath.Join(dir, "journal.jsonl")
+	if err := truncateTornTail(path); err != nil {
+		return nil, fmt.Errorf("datastore: repair journal tail: %w", err)
+	}
+	j, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("datastore: open journal: %w", err)
 	}
 	return &FileBackend{dir: dir, journal: j}, nil
+}
+
+// truncateTornTail cuts a partial final line (crash mid-append) off the
+// journal so the next append starts on a line boundary. Entry writes
+// are single Write calls of JSON + '\n' with no embedded newlines, so a
+// torn append is exactly "the file does not end in '\n'".
+func truncateTornTail(path string) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0o644)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil
+	}
+	// Find the offset just past the last '\n', scanning backwards.
+	keep := int64(0)
+	buf := make([]byte, 4096)
+	for end := size; end > 0; {
+		start := end - int64(len(buf))
+		if start < 0 {
+			start = 0
+		}
+		n := int(end - start)
+		if _, err := f.ReadAt(buf[:n], start); err != nil {
+			return err
+		}
+		if i := bytes.LastIndexByte(buf[:n], '\n'); i >= 0 {
+			keep = start + int64(i) + 1
+			break
+		}
+		end = start
+	}
+	if keep == size {
+		return nil
+	}
+	if err := f.Truncate(keep); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 type fileSnapshot struct {
@@ -40,9 +98,13 @@ type fileSnapshot struct {
 	Data json.RawMessage `json:"data"`
 }
 
-// LoadSnapshot implements Backend.
+// LoadSnapshot implements Backend. An unreadable snapshot is moved
+// aside (snapshot.json.corrupt) rather than returned as an error: the
+// journal is retained in full, so replay from empty reproduces the
+// intent set and the daemon still boots — it just re-observes.
 func (f *FileBackend) LoadSnapshot() (uint64, []byte, error) {
-	b, err := os.ReadFile(filepath.Join(f.dir, "snapshot.json"))
+	path := filepath.Join(f.dir, "snapshot.json")
+	b, err := os.ReadFile(path)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil, nil
 	}
@@ -51,22 +113,48 @@ func (f *FileBackend) LoadSnapshot() (uint64, []byte, error) {
 	}
 	var s fileSnapshot
 	if err := json.Unmarshal(b, &s); err != nil {
-		return 0, nil, fmt.Errorf("corrupt snapshot.json: %w", err)
+		if renameErr := os.Rename(path, path+".corrupt"); renameErr != nil {
+			return 0, nil, fmt.Errorf("corrupt snapshot.json: %w", err)
+		}
+		return 0, nil, nil
 	}
 	return s.Seq, s.Data, nil
 }
 
-// WriteSnapshot implements Backend via write-to-temp + rename.
+// WriteSnapshot implements Backend via write-to-temp + fsync + rename:
+// without the fsync before the rename, power loss can make the rename
+// durable while the data is not, leaving a corrupt snapshot.json.
 func (f *FileBackend) WriteSnapshot(seq uint64, data []byte) error {
 	b, err := json.Marshal(fileSnapshot{Seq: seq, Data: data})
 	if err != nil {
 		return err
 	}
 	tmp := filepath.Join(f.dir, "snapshot.json.tmp")
-	if err := os.WriteFile(tmp, b, 0o644); err != nil {
+	t, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(f.dir, "snapshot.json"))
+	if _, err := t.Write(b); err != nil {
+		t.Close()
+		return err
+	}
+	if err := t.Sync(); err != nil {
+		t.Close()
+		return err
+	}
+	if err := t.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(f.dir, "snapshot.json")); err != nil {
+		return err
+	}
+	// Make the rename itself durable. Best-effort: some platforms
+	// cannot fsync a directory handle.
+	if d, err := os.Open(f.dir); err == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // Append implements Backend: one JSON line, synced before returning so

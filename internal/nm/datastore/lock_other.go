@@ -1,0 +1,38 @@
+//go:build !unix
+
+package datastore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// DirLock is a no-op stand-in on platforms without flock; the state
+// directory is not protected against concurrent writers there.
+type DirLock struct {
+	f *os.File
+}
+
+// LockDir creates the lock file but provides no mutual exclusion on
+// this platform.
+func LockDir(dir string) (*DirLock, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("datastore: create state dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: open lock file: %w", err)
+	}
+	return &DirLock{f: f}, nil
+}
+
+// Close releases the lock file handle.
+func (l *DirLock) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	return f.Close()
+}

@@ -1,0 +1,61 @@
+//go:build unix
+
+package datastore
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// DirLock is an exclusive advisory lock on a state directory. The
+// daemon and the offline store admin commands both take it before
+// opening a FileBackend, so two processes never write the same journal
+// concurrently (two writers would hand out independent, colliding
+// sequence numbers, and a live daemon would never see an offline
+// rollback).
+type DirLock struct {
+	f *os.File
+}
+
+// LockDir takes the exclusive lock on dir (creating the directory if
+// needed), failing fast with a descriptive error if another process
+// holds it. The lock is advisory — every writer of the directory must
+// acquire it — and is released by Close or by process exit, so a
+// crashed holder never wedges the directory.
+func LockDir(dir string) (*DirLock, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("datastore: create state dir: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(dir, "lock"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("datastore: open lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder := ""
+		if b, readErr := os.ReadFile(f.Name()); readErr == nil {
+			if pid := string(bytes.TrimSpace(b)); pid != "" {
+				holder = " (pid " + pid + ")"
+			}
+		}
+		f.Close()
+		return nil, fmt.Errorf("datastore: state dir %s is locked by another process%s — stop it first", dir, holder)
+	}
+	// Record our pid for the error message above; best-effort.
+	_ = f.Truncate(0)
+	_, _ = fmt.Fprintf(f, "%d\n", os.Getpid())
+	return &DirLock{f: f}, nil
+}
+
+// Close releases the lock.
+func (l *DirLock) Close() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	f := l.f
+	l.f = nil
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+	return f.Close()
+}

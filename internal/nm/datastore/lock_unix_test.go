@@ -1,0 +1,33 @@
+//go:build unix
+
+package datastore
+
+import (
+	"strings"
+	"testing"
+)
+
+// Flock conflicts between distinct open file descriptions even within
+// one process, so the daemon-vs-admin exclusion is testable in-process.
+func TestLockDirExcludesSecondHolder(t *testing.T) {
+	dir := t.TempDir()
+	l1, err := LockDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LockDir(dir); err == nil {
+		t.Fatal("second LockDir acquired a held lock")
+	} else if !strings.Contains(err.Error(), "locked by another process") {
+		t.Fatalf("unhelpful lock error: %v", err)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := LockDir(dir)
+	if err != nil {
+		t.Fatalf("lock not released by Close: %v", err)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -98,9 +98,10 @@ type obsRuleSnap struct {
 // against the restored observation cache — zero showActual calls for
 // devices that did not change), NM knowledge and occupancy records are
 // restored for devices that have not re-announced themselves live, and
-// every device named by an apply-begin record with no matching
-// state is invalidated (the crash may have landed mid-apply; observe it
-// fresh rather than trust the snapshot). Returns the number of intents
+// every device named by a post-snapshot apply-begin record is
+// invalidated, committed or not — the snapshot's cached observation
+// predates those writes, so observe it fresh rather than trust the
+// snapshot. Returns the number of intents
 // restored into the store. Subsequent store mutations journal through
 // the backend.
 func (n *NM) Persist(b datastore.Backend) (int, error) {
