@@ -14,6 +14,7 @@
 //	conman withdraw [-dry-run] <vpn-c1|vpn-c2>
 //	conman daemon [-addr HOST:PORT] [-poll DUR] [-state-dir DIR]
 //	conman doctor [-addr HOST:PORT]
+//	conman chaos [-topo FAMILY] [-n N] [-pairs K] [-seed S] [-wires W] [-devices D] [-pipes P] [-addr HOST:PORT]
 //	conman store log|show|rollback -state-dir DIR [-to SEQ]
 //	conman bench [-out FILE]
 //	conman table3|table4|table5|table6|fig3|fig5|fig7|fig8|fig9|paths|all
@@ -40,6 +41,7 @@ import (
 	"conman/internal/nm"
 	"conman/internal/nm/datastore"
 	"conman/internal/obs"
+	"conman/internal/topo"
 )
 
 func main() {
@@ -84,6 +86,12 @@ func main() {
 	case "bench":
 		if err := runBench(args); err != nil {
 			fmt.Fprintf(os.Stderr, "conman bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "chaos":
+		if err := runChaosCmd(args); err != nil {
+			fmt.Fprintf(os.Stderr, "conman chaos: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -154,6 +162,18 @@ autonomous operation:
                               observation-cache hit rate and journal
                               counters), and exit non-zero when it is
                               unhealthy
+  chaos [-topo FAMILY] [-n N] [-pairs K] [-seed S]
+        [-wires W] [-devices D] [-pipes P] [-addr HOST:PORT]
+                              build a generated fabric (fattree, ring,
+                              torus or waxman) carrying K VLAN intents
+                              under the daemon, inject W wire cuts, D
+                              device kills and P pipe deletions
+                              concurrently (seeded, min-cut-guarded),
+                              and require autonomous re-convergence
+                              with delivery verified. With -addr the
+                              process serves /status and /metrics and
+                              stays up after the episode so doctor can
+                              inspect the healed state
 
 persistent store (offline, operates on -state-dir):
   store log -state-dir DIR    print the journal: every submit/update/
@@ -545,6 +565,136 @@ func chaosWire(tb *experiments.Testbed, up bool) http.HandlerFunc {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintf(w, "{\"wire\":%q,\"up\":%v}\n", name, up)
 	}
+}
+
+// chaosWiring builds the fabric for `conman chaos`. n is the family's
+// natural size knob (fattree: pod arity, ring/waxman: device count,
+// torus: side length); 0 picks a small default.
+func chaosWiring(family string, n int, seed int64) (*topo.Wiring, error) {
+	switch family {
+	case "fattree":
+		if n == 0 {
+			n = 4
+		}
+		return topo.FatTree(n)
+	case "ring":
+		if n == 0 {
+			n = 16
+		}
+		return topo.Ring(n)
+	case "torus":
+		if n == 0 {
+			n = 4
+		}
+		return topo.Torus(n, n)
+	case "waxman":
+		if n == 0 {
+			n = 32
+		}
+		return topo.Waxman(n, 0.7, 0.25, seed)
+	default:
+		return nil, fmt.Errorf("unknown -topo %q (fattree, ring, torus, waxman)", family)
+	}
+}
+
+// runChaosCmd is the chaos harness as an operator command: one seeded
+// multi-failure episode against a daemon-managed generated fabric,
+// exit 0 only if every intent re-converged autonomously and delivers.
+func runChaosCmd(args []string) error {
+	fs := flag.NewFlagSet("chaos", flag.ContinueOnError)
+	family := fs.String("topo", "fattree", "fabric family: fattree, ring, torus or waxman")
+	size := fs.Int("n", 0, "fabric size (fattree: pod arity, ring/waxman: devices, torus: side; 0 = family default)")
+	pairsN := fs.Int("pairs", 2, "customer pairs (one VLAN intent each) riding the fabric")
+	seed := fs.Int64("seed", 1, "seed for the fault picker (and the waxman graph)")
+	wires := fs.Int("wires", 2, "wires to cut concurrently")
+	devices := fs.Int("devices", 0, "devices to kill concurrently")
+	pipes := fs.Int("pipes", 0, "applied tunnel pipes to delete concurrently")
+	timeout := fs.Duration("timeout", 30*time.Second, "re-convergence deadline")
+	addr := fs.String("addr", "", "serve /status and /metrics here and stay up after the episode (for doctor)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	w, err := chaosWiring(*family, *size, *seed)
+	if err != nil {
+		return err
+	}
+	tb, pairs, err := experiments.BuildTopoVLAN(w, *pairsN)
+	if err != nil {
+		return err
+	}
+	defer tb.Close()
+	for _, p := range pairs {
+		if err := tb.NM.Submit(p.Intent("VLAN tunnel")); err != nil {
+			return err
+		}
+	}
+	metrics := obs.NewMetrics()
+	d, stop := tb.StartDaemon(nm.DaemonConfig{Metrics: metrics})
+	defer stop()
+
+	var srv *http.Server
+	if *addr != "" {
+		ln, err := net.Listen("tcp", *addr)
+		if err != nil {
+			return err
+		}
+		srv = &http.Server{Handler: obs.NewMux(func() any { return d.Status() }, metrics)}
+		go func() { _ = srv.Serve(ln) }()
+		fmt.Printf("conman chaos: listening on http://%s (/status /metrics)\n", ln.Addr())
+	}
+
+	fmt.Printf("conman chaos: %s %s — %d devices, %d wires, %d intents\n",
+		w.Family, w.Param, len(w.Devices), len(w.Wires), len(pairs))
+	if err := d.WaitConverged(0, *timeout); err != nil {
+		return fmt.Errorf("initial convergence: %w", err)
+	}
+	for i, p := range pairs {
+		if err := tb.VerifyPair(p, uint32(90000+100*i)); err != nil {
+			return fmt.Errorf("before chaos: %w", err)
+		}
+	}
+	fmt.Printf("conman chaos: converged, delivery verified on %d pairs\n", len(pairs))
+
+	protect, err := w.CrossCorePairs(*pairsN)
+	if err != nil {
+		return err
+	}
+	rep, err := tb.RunChaos(d, w, protect, experiments.ChaosSpec{
+		Seed: *seed, Wires: *wires, Devices: *devices, Pipes: *pipes, Timeout: *timeout,
+	})
+	if rep != nil {
+		for _, name := range rep.Wires {
+			fmt.Printf("conman chaos: cut wire %s\n", name)
+		}
+		for _, dev := range rep.Devices {
+			fmt.Printf("conman chaos: killed device %s\n", dev)
+		}
+		for _, req := range rep.Pipes {
+			fmt.Printf("conman chaos: deleted pipe %s on %s\n", req.ID, req.Module)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	for i, p := range pairs {
+		if err := tb.VerifyPair(p, uint32(91000+100*i)); err != nil {
+			return fmt.Errorf("after heal: %w", err)
+		}
+	}
+	fmt.Printf("conman chaos: healed %d faults (%d candidates guarded), delivery re-verified on %d pairs\n",
+		rep.Faults(), rep.Guarded, len(pairs))
+
+	if srv == nil {
+		return nil
+	}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	fmt.Println("conman chaos: serving until interrupted")
+	<-ctx.Done()
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer shutCancel()
+	_ = srv.Shutdown(shutCtx)
+	return nil
 }
 
 // runDoctor snapshots a running daemon's /status and renders a
@@ -945,6 +1095,13 @@ func runBench(args []string) error {
 		})
 		fmt.Fprintf(os.Stderr, "DaemonConverge/VLAN-shared n=2 kill-wire: %v\n", best)
 	}
+	// Generated-topology rows (ROADMAP item 4): the fabric families of
+	// the chaos harness, measured where the line topologies cannot see —
+	// IGP cold-start flooding on diverse graphs, unguided path search on
+	// a random fabric, and intent compilation at generator scale.
+	if err := benchTopoRows(&results, latency); err != nil {
+		return err
+	}
 	data, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
 		return err
@@ -955,6 +1112,143 @@ func runBench(args []string) error {
 		return err
 	}
 	return os.WriteFile(out, data, 0644)
+}
+
+// benchTopoRows appends the generated-topology benchmark rows:
+//
+//   - IGPFlood: applying the first routed intent on a BuildTopoGREIGP
+//     fabric cold-starts IGP adjacencies on every router; each LSA
+//     batch is relayed through the NM, so the counters' relay figures
+//     are the flooding message count. Sequential mode keeps them
+//     deterministic (Expanded = relays out, gated exactly; a ring
+//     floods O(n) LSAs over O(n) adjacencies, a Clos core refloods
+//     across its much denser neighbour sets).
+//   - FindPath/waxman: best-first search with no Prefer hint on a
+//     seeded random graph — the metric-driven selection of §III-C.1
+//     over an irregular variant space, tracked by states expanded.
+//   - TopoPlan: intent compilation (no apply) on generator-scale
+//     fabrics, the wall-clock row for the n∈{512,1024,4096} planning
+//     path the chaos suite proves correct.
+func benchTopoRows(results *[]benchResult, latency time.Duration) error {
+	for _, tc := range []struct {
+		scen  string
+		build func() (*topo.Wiring, error)
+	}{
+		{"ring-16", func() (*topo.Wiring, error) { return topo.Ring(16) }},
+		{"fattree-4", func() (*topo.Wiring, error) { return topo.FatTree(4) }},
+	} {
+		w, err := tc.build()
+		if err != nil {
+			return err
+		}
+		tb, pairs, err := experiments.BuildTopoGREIGP(w, 1)
+		if err != nil {
+			return err
+		}
+		tb.NM.Sequential = true
+		intent := nm.Intent{Name: "vpn-c1", Goal: pairs[0].Goal, Prefer: "GRE-IP tunnel"}
+		plan, err := tb.NM.Plan(intent)
+		if err != nil {
+			tb.Close()
+			return err
+		}
+		tb.NM.ResetCounters()
+		tb.Hub.SetLatency(latency)
+		start := time.Now()
+		if err := tb.NM.Apply(plan); err != nil {
+			tb.Close()
+			return err
+		}
+		el := time.Since(start)
+		c := tb.NM.Counters()
+		*results = append(*results, benchResult{
+			Benchmark: "IGPFlood", Scenario: tc.scen, N: len(w.Devices), Mode: "sequential",
+			Seconds: el.Seconds(), Sent: c.Sent(), Received: c.Received(), Expanded: c.RelayOut,
+		})
+		fmt.Fprintf(os.Stderr, "IGPFlood/%s n=%d sequential: %v (%d LSA relays, %d sent / %d received)\n",
+			tc.scen, len(w.Devices), el, c.RelayOut, c.Sent(), c.Received())
+		tb.Close()
+	}
+	{
+		w, err := topo.Waxman(48, 0.7, 0.25, 1)
+		if err != nil {
+			return err
+		}
+		tb, intents, err := experiments.BuildTopoVLANLite(w, 1)
+		if err != nil {
+			return err
+		}
+		goal := intents[0].Goal
+		g, err := nm.BuildGraph(tb.NM)
+		if err != nil {
+			tb.Close()
+			return err
+		}
+		spec := nm.FindSpec{
+			From: goal.From, To: goal.To, TrafficDomain: goal.TrafficDomain,
+			FromPipe: goal.FromPipe, ToPipe: goal.ToPipe,
+		}
+		best := time.Duration(0)
+		var stats nm.PruneStats
+		for rep := 0; rep < 2; rep++ {
+			start := time.Now()
+			p, s, err := g.FindBest(spec)
+			if err != nil {
+				tb.Close()
+				return err
+			}
+			if p == nil {
+				tb.Close()
+				return fmt.Errorf("bench: no unguided path on waxman-48")
+			}
+			if el := time.Since(start); best == 0 || el < best {
+				best = el
+			}
+			stats = s
+		}
+		*results = append(*results, benchResult{
+			Benchmark: "FindPath", Scenario: "waxman-48", N: 48, Mode: "no-prefer",
+			Seconds: best.Seconds(), Expanded: stats.Expanded,
+		})
+		fmt.Fprintf(os.Stderr, "FindPath/waxman-48 n=48 no-prefer: %v (%d states expanded)\n",
+			best, stats.Expanded)
+		tb.Close()
+	}
+	for _, tc := range []struct {
+		scen  string
+		build func() (*topo.Wiring, error)
+	}{
+		{"ring", func() (*topo.Wiring, error) { return topo.Ring(512) }},
+		{"torus", func() (*topo.Wiring, error) { return topo.Torus(32, 32) }},
+		{"torus", func() (*topo.Wiring, error) { return topo.Torus(64, 64) }},
+	} {
+		w, err := tc.build()
+		if err != nil {
+			return err
+		}
+		tb, intents, err := experiments.BuildTopoVLANLite(w, 1)
+		if err != nil {
+			return err
+		}
+		start := time.Now()
+		plan, err := tb.NM.Plan(intents[0])
+		if err != nil {
+			tb.Close()
+			return err
+		}
+		el := time.Since(start)
+		if plan.Empty() {
+			tb.Close()
+			return fmt.Errorf("bench: empty plan on %s n=%d", tc.scen, len(w.Devices))
+		}
+		*results = append(*results, benchResult{
+			Benchmark: "TopoPlan", Scenario: tc.scen, N: len(w.Devices), Mode: "plan",
+			Seconds: el.Seconds(),
+		})
+		fmt.Fprintf(os.Stderr, "TopoPlan/%s n=%d plan: %v\n", tc.scen, len(w.Devices), el)
+		tb.Close()
+	}
+	return nil
 }
 
 // benchStoreReconcile builds the diamond-lite topology with k resident

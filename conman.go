@@ -109,6 +109,7 @@ import (
 	"conman/internal/core"
 	"conman/internal/experiments"
 	"conman/internal/nm"
+	"conman/internal/topo"
 )
 
 // Core model types.
@@ -283,3 +284,44 @@ func VPNIntent(goal Goal, prefer string) Intent { return experiments.VPNIntent(g
 func ConfigureVPN(tb *Testbed, goal Goal, prefer string) (*Path, []DeviceScript, error) {
 	return experiments.ConfigureVPN(tb, goal, prefer)
 }
+
+// Wiring is a generated fabric blueprint: devices with their trunk
+// ports, named wires, and the customer-eligible edge devices, all in
+// deterministic order (internal/topo).
+type Wiring = topo.Wiring
+
+// TopoPair is one intent endpoint pair of a generated fabric.
+type TopoPair = topo.Pair
+
+// FatTree generates a k-ary fat-tree/Clos fabric (k even): k pods of
+// edge and aggregation switches under (k/2)^2 cores.
+func FatTree(k int) (*Wiring, error) { return topo.FatTree(k) }
+
+// Ring generates a cycle of n switches; intents pair diametrically
+// opposite devices.
+func Ring(n int) (*Wiring, error) { return topo.Ring(n) }
+
+// Torus generates a rows x cols 2D torus with wraparound, degree 4
+// everywhere.
+func Torus(rows, cols int) (*Wiring, error) { return topo.Torus(rows, cols) }
+
+// Waxman generates a connected random graph with the classic Waxman
+// edge probability, deterministic per seed.
+func Waxman(n int, alpha, beta float64, seed int64) (*Wiring, error) {
+	return topo.Waxman(n, alpha, beta, seed)
+}
+
+// BuildTopoVLAN realises a generated wiring as a full switched testbed
+// carrying pairsN customer pairs, each with sites, QinQ edge ports and
+// a ready-made VLAN tunnel goal.
+func BuildTopoVLAN(w *Wiring, pairsN int) (*Testbed, []SharedPair, error) {
+	return experiments.BuildTopoVLAN(w, pairsN)
+}
+
+// ChaosSpec is one seeded multi-failure episode: how many wires,
+// devices and applied pipes to kill concurrently, under a min-cut
+// guard that never strands a protected intent pair.
+type ChaosSpec = experiments.ChaosSpec
+
+// ChaosReport lists what an episode actually killed.
+type ChaosReport = experiments.ChaosReport

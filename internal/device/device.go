@@ -51,6 +51,12 @@ func New(net *netsim.Network, id core.DeviceID, role kernel.Role, ports ...strin
 	// (§III-C.2's failure detection). Errors are ignored — the channel
 	// may not be attached yet, or the NM may be gone.
 	net.OnCarrierChange(id, func() { _ = d.MA.ReportTopology() })
+	// 802.1D topology-change behaviour: every bridge in the domain
+	// fast-ages its forwarding table when any link flips, adjacent or
+	// not. Entries learned before the change may steer unicast frames
+	// into the failed direction, and the simulator has no aging clock
+	// to expire them.
+	net.OnTopologyChange(id, k.FlushFDB)
 	return d, nil
 }
 

@@ -1,0 +1,300 @@
+package experiments
+
+// Generated-topology testbeds: turn a topo.Wiring (fat-tree, ring,
+// torus, Waxman) into a running netsim testbed, generalizing the
+// hand-built BuildLinear*/BuildDiamond* shapes to arbitrary graphs.
+// Three families:
+//
+//   - BuildTopoVLAN: every fabric device is a managed L2 switch (ETH
+//     across all ports + VLAN module), with simulated customer routers
+//     attached on dedicated edge ports — full data-plane verification
+//     via VerifyPair.
+//   - BuildTopoVLANLite: the same fabric with external customer ports
+//     but no customer routers — O(pairs) setup on top of the fabric,
+//     for plan-level workloads at generator scale (n in the thousands).
+//   - BuildTopoGREIGP: every fabric device is a managed router with
+//     per-port ETH modules, an ISP IP module and an IGP control module;
+//     intent endpoints additionally carry a customer IP module and GRE.
+//     The compiled configuration includes one pipe per IGP adjacency,
+//     so applying an intent cold-starts link-state flooding across the
+//     whole fabric — the workload of the IGPFlood benchmark rows.
+
+import (
+	"fmt"
+	"net/netip"
+
+	"conman/internal/core"
+	"conman/internal/device"
+	"conman/internal/kernel"
+	"conman/internal/modules"
+	"conman/internal/netsim"
+	"conman/internal/nm"
+	"conman/internal/topo"
+)
+
+// topoCustPorts assigns pair j (1-based) a dedicated customer port
+// "cust<j>" on both of its endpoint devices.
+func topoCustPorts(pairs []topo.Pair) map[core.DeviceID][]string {
+	cust := make(map[core.DeviceID][]string)
+	for j, p := range pairs {
+		port := fmt.Sprintf("cust%d", j+1)
+		cust[p.A] = append(cust[p.A], port)
+		cust[p.B] = append(cust[p.B], port)
+	}
+	return cust
+}
+
+// wireSpecs converts the wiring's trunk wires to a netsim batch.
+func wireSpecs(w *topo.Wiring) []netsim.WireSpec {
+	specs := make([]netsim.WireSpec, len(w.Wires))
+	for i, wi := range w.Wires {
+		specs[i] = netsim.WireSpec{
+			Name: wi.Name,
+			A:    netsim.PortID{Device: wi.A.Device, Name: wi.A.Port},
+			B:    netsim.PortID{Device: wi.B.Device, Name: wi.B.Port},
+		}
+	}
+	return specs
+}
+
+// buildTopoVLANFabric creates the managed switches and trunk wires of
+// a VLAN-family testbed; cust maps devices to their customer ports.
+func buildTopoVLANFabric(w *topo.Wiring, cust map[core.DeviceID][]string) (*Testbed, error) {
+	tb, err := newBareBase(nil)
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range w.Devices {
+		if err := mkVLANSwitch(tb, d.ID, "eth", "vlan", cust[d.ID], d.Ports); err != nil {
+			return nil, err
+		}
+	}
+	if err := tb.Net.ConnectAll(wireSpecs(w)); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// BuildTopoVLAN builds the wiring as an L2 switching fabric carrying
+// pairsN customer pairs on cross-core edge devices, each pair with
+// simulated customer routers for data-plane verification. Submit
+// p.Intent("VLAN tunnel") (or let a daemon reconcile) and VerifyPair
+// as with the diamond testbeds.
+func BuildTopoVLAN(w *topo.Wiring, pairsN int) (*Testbed, []SharedPair, error) {
+	pairs, err := w.CrossCorePairs(pairsN)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := buildTopoVLANFabric(w, topoCustPorts(pairs))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]SharedPair, 0, pairsN)
+	for j, pr := range pairs {
+		port := fmt.Sprintf("cust%d", j+1)
+		p, err := addL2CustomerPair(tb, j+1,
+			core.Ref(core.NameETH, pr.A, "eth"),
+			core.Ref(core.NameETH, pr.B, "eth"), port, port)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := connect(tb.Net, fmt.Sprintf("%s-%s", p.D, pr.A),
+			netsim.PortID{Device: p.D, Name: "eth0"},
+			netsim.PortID{Device: pr.A, Name: port}); err != nil {
+			return nil, nil, err
+		}
+		if err := connect(tb.Net, fmt.Sprintf("%s-%s", pr.B, p.E),
+			netsim.PortID{Device: pr.B, Name: port},
+			netsim.PortID{Device: p.E, Name: "eth0"}); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, p)
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, nil, err
+	}
+	return tb, out, nil
+}
+
+// BuildTopoVLANLite builds the wiring as an L2 fabric with pairsN
+// external customer ports and no customer routers (the diamond-lite
+// pattern at generator scale): usable for plan/apply/observe workloads
+// only, not data-plane verification. The returned intents are ready to
+// Plan or Submit; intent j's goal pins the pair's dedicated edge ports
+// via FromPipe/ToPipe.
+func BuildTopoVLANLite(w *topo.Wiring, pairsN int) (*Testbed, []nm.Intent, error) {
+	pairs, err := w.CrossCorePairs(pairsN)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := buildTopoVLANFabric(w, topoCustPorts(pairs))
+	if err != nil {
+		return nil, nil, err
+	}
+	intents := make([]nm.Intent, 0, pairsN)
+	for j, pr := range pairs {
+		port := fmt.Sprintf("cust%d", j+1)
+		intents = append(intents, nm.Intent{
+			Name:   fmt.Sprintf("vpn-c%d", j+1),
+			Prefer: "VLAN tunnel",
+			Goal: nm.Goal{
+				From:          core.Ref(core.NameETH, pr.A, "eth"),
+				To:            core.Ref(core.NameETH, pr.B, "eth"),
+				FromPipe:      modules.PhysPipeID(port),
+				ToPipe:        modules.PhysPipeID(port),
+				TrafficDomain: fmt.Sprintf("C%d", j+1),
+				TagClassified: true,
+			},
+		})
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, nil, err
+	}
+	return tb, intents, nil
+}
+
+// topoLinkSubnet returns the ISP /24 of trunk wire i in the routed
+// family: 10.64.0.0/10 is untouched by every other testbed's
+// addressing, and two octets of index keep subnets unique up to 16k
+// wires.
+func topoLinkSubnet(i int) (a, b netip.Prefix) {
+	hi, lo := 64+i>>8, i&0xff
+	return pfx(fmt.Sprintf("10.%d.%d.1/24", hi, lo)), pfx(fmt.Sprintf("10.%d.%d.2/24", hi, lo))
+}
+
+// routedPairNets returns pair j's addressing in the routed family: the
+// two sites sit on distinct edge links (unlike the shared-subnet L2
+// family), customer routers at .1, edge routers at .2.
+func routedPairNets(j int) (uplinkD, edgeD, uplinkE, edgeE netip.Prefix, lanD, lanE netip.Prefix) {
+	return pfx(fmt.Sprintf("172.16.%d.1/24", 2*j)),
+		pfx(fmt.Sprintf("172.16.%d.2/24", 2*j)),
+		pfx(fmt.Sprintf("172.16.%d.1/24", 2*j+1)),
+		pfx(fmt.Sprintf("172.16.%d.2/24", 2*j+1)),
+		pfx(fmt.Sprintf("10.%d.1.1/24", 10+j)),
+		pfx(fmt.Sprintf("10.%d.2.1/24", 10+j))
+}
+
+// BuildTopoGREIGP builds the wiring as a routed fabric: per-port ETH
+// modules, one ISP IP module holding every trunk link address, and an
+// IGP control module on every router; the pairsN intent endpoints
+// additionally carry a customer-domain IP module and GRE. Prefer
+// "GRE-IP tunnel" when submitting the returned pairs' intents. Every
+// endpoint device hosts at most one pair (CrossCorePairs guarantees
+// distinct devices), keeping the per-edge module inventory fixed.
+func BuildTopoGREIGP(w *topo.Wiring, pairsN int) (*Testbed, []SharedPair, error) {
+	pairs, err := w.CrossCorePairs(pairsN)
+	if err != nil {
+		return nil, nil, err
+	}
+	tb, err := newBareBase(nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Trunk port addresses, per wire.
+	addr := make(map[topo.Port]netip.Prefix, 2*len(w.Wires))
+	for i, wi := range w.Wires {
+		a, b := topoLinkSubnet(i)
+		addr[wi.A], addr[wi.B] = a, b
+	}
+	// Pair endpoint roles, per device.
+	type endpoint struct {
+		j    int // 1-based pair index
+		port string
+		addr netip.Prefix // edge router's customer-link address
+	}
+	eps := make(map[core.DeviceID]endpoint, 2*pairsN)
+	for j, pr := range pairs {
+		_, edgeD, _, edgeE, _, _ := routedPairNets(j + 1)
+		eps[pr.A] = endpoint{j: j + 1, port: fmt.Sprintf("cust%d", j+1), addr: edgeD}
+		eps[pr.B] = endpoint{j: j + 1, port: fmt.Sprintf("cust%d", j+1), addr: edgeE}
+	}
+	for _, d := range w.Devices {
+		ep, isEdge := eps[d.ID]
+		ports := append([]string{}, d.Ports...)
+		if isEdge {
+			ports = append(ports, ep.port)
+		}
+		dev, err := device.New(tb.Net, d.ID, kernel.RoleRouter, ports...)
+		if err != nil {
+			return nil, nil, err
+		}
+		tb.Devices[d.ID] = dev
+		ispAddrs := make(map[string]netip.Prefix, len(d.Ports))
+		for i, p := range d.Ports {
+			eth := modules.NewETH(dev.MA, core.ModuleID(fmt.Sprintf("e%d", i)), false, p)
+			eth.RegisterPhysical(dev.MA)
+			dev.AddModule(eth)
+			ispAddrs[p] = addr[topo.Port{Device: d.ID, Port: p}]
+		}
+		if isEdge {
+			dev.MarkExternal(ep.port)
+			ec := modules.NewETH(dev.MA, "ec", false, ep.port)
+			ec.RegisterPhysical(dev.MA, ep.port)
+			dev.AddModule(ec)
+			ipc, err := modules.NewIP(dev.MA, "ipc", fmt.Sprintf("C%d", ep.j),
+				map[string]netip.Prefix{ep.port: ep.addr})
+			if err != nil {
+				return nil, nil, err
+			}
+			dev.AddModule(ipc)
+			dev.AddModule(modules.NewGRE(dev.MA, "gre"))
+		}
+		ips, err := modules.NewIP(dev.MA, "ips", "ISP", ispAddrs)
+		if err != nil {
+			return nil, nil, err
+		}
+		ips.AllowConnectable(core.NameIGP)
+		dev.AddModule(ips)
+		dev.AddModule(modules.NewIGP(dev.MA, "igp"))
+	}
+	if err := tb.Net.ConnectAll(wireSpecs(w)); err != nil {
+		return nil, nil, err
+	}
+	out := make([]SharedPair, 0, pairsN)
+	for j, pr := range pairs {
+		uplinkD, edgeD, uplinkE, edgeE, lanD, lanE := routedPairNets(j + 1)
+		dID := core.DeviceID(fmt.Sprintf("D%d", j+1))
+		eID := core.DeviceID(fmt.Sprintf("E%d", j+1))
+		d, err := customerRouter(tb.Net, dID, uplinkD, lanD, edgeD.Addr())
+		if err != nil {
+			return nil, nil, err
+		}
+		e, err := customerRouter(tb.Net, eID, uplinkE, lanE, edgeE.Addr())
+		if err != nil {
+			return nil, nil, err
+		}
+		tb.Customer[dID], tb.Customer[eID] = d, e
+		port := fmt.Sprintf("cust%d", j+1)
+		if err := connect(tb.Net, fmt.Sprintf("%s-%s", dID, pr.A),
+			netsim.PortID{Device: dID, Name: "eth0"},
+			netsim.PortID{Device: pr.A, Name: port}); err != nil {
+			return nil, nil, err
+		}
+		if err := connect(tb.Net, fmt.Sprintf("%s-%s", pr.B, eID),
+			netsim.PortID{Device: pr.B, Name: port},
+			netsim.PortID{Device: eID, Name: "eth0"}); err != nil {
+			return nil, nil, err
+		}
+		s1, s2 := fmt.Sprintf("C%d-S1", j+1), fmt.Sprintf("C%d-S2", j+1)
+		gw1, gw2 := fmt.Sprintf("C%d-S1-gateway", j+1), fmt.Sprintf("C%d-S2-gateway", j+1)
+		tb.NM.SetDomain(s1, lanD.Masked().String())
+		tb.NM.SetDomain(s2, lanE.Masked().String())
+		tb.NM.SetGateway(gw1, uplinkD.Addr().String())
+		tb.NM.SetGateway(gw2, uplinkE.Addr().String())
+		out = append(out, SharedPair{
+			Index: j + 1, D: dID, E: eID,
+			SrcIP: lanD.Addr(), DstIP: lanE.Addr(),
+			Goal: nm.Goal{
+				From:       core.Ref(core.NameETH, pr.A, "ec"),
+				To:         core.Ref(core.NameETH, pr.B, "ec"),
+				FromDomain: s1, ToDomain: s2,
+				FromGateway: gw1, ToGateway: gw2,
+				TrafficDomain: fmt.Sprintf("C%d", j+1),
+			},
+		})
+	}
+	if err := tb.startAll(); err != nil {
+		return nil, nil, err
+	}
+	return tb, out, nil
+}

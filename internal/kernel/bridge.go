@@ -92,7 +92,8 @@ func (k *Kernel) DefineVLAN(vid uint16, name string, mtu int) {
 }
 
 // SetPortAccess configures a switch port as an access (or QinQ tunnel)
-// member of a VLAN.
+// member of a VLAN. Membership changes flush the VLAN's learned
+// entries (see flushVID).
 func (k *Kernel) SetPortAccess(port string, vid uint16, tunnel bool) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
@@ -103,15 +104,33 @@ func (k *Kernel) SetPortAccess(port string, vid uint16, tunnel bool) {
 	} else {
 		p.Mode = ModeAccess
 	}
+	k.bridge.flushVID(vid)
 }
 
-// SetPortTrunk adds a VLAN to a port's trunk allow-list.
+// SetPortTrunk adds a VLAN to a port's trunk allow-list and flushes the
+// VLAN's learned entries (see flushVID).
 func (k *Kernel) SetPortTrunk(port string, vid uint16) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	p := k.bridge.port(port)
 	p.Mode = ModeTrunk
 	p.TrunkVIDs[vid] = true
+	k.bridge.flushVID(vid)
+}
+
+// flushVID drops a VLAN's learned forwarding entries. Any membership
+// change is a topology change for that VLAN: entries learned under the
+// old membership may point away from the new path (a switch that keeps
+// a port in the VLAN for one service while another service's path
+// swings to a different port would otherwise steer the second
+// service's unicast frames down the old direction forever — the
+// simulator has no aging clock to expire them). Caller holds k.mu.
+func (b *bridgeState) flushVID(vid uint16) {
+	for key := range b.fdb {
+		if key.vid == vid {
+			delete(b.fdb, key)
+		}
+	}
 }
 
 // ClearPortVLAN undoes a port's membership in a VLAN: access/QinQ ports
@@ -136,11 +155,18 @@ func (k *Kernel) ClearPortVLAN(port string, vid uint16) {
 			}
 		}
 	}
-	for key := range k.bridge.fdb {
-		if key.vid == vid {
-			delete(k.bridge.fdb, key)
-		}
-	}
+	k.bridge.flushVID(vid)
+}
+
+// FlushFDB drops every learned forwarding entry, as a bridge fast-ages
+// its table on a topology change (802.1D's topology-change
+// notification). Without this, a unicast flow whose path moved keeps
+// following entries learned before the failure — frames steered into a
+// dead link with no aging clock to ever recover them.
+func (k *Kernel) FlushFDB() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.bridge.fdb = make(map[fdbKey]string)
 }
 
 // UndefineVLAN removes a VLAN definition and flushes its FDB entries.

@@ -36,7 +36,14 @@ type ETH struct {
 	// ruleUndo maps an installed rule's id to the action undoing the
 	// CatOS port configuration it emitted (nil for router NIC rules).
 	ruleUndo map[string]func()
-	vlanDone map[string]bool // idempotence for emitted CatOS port config
+	// vlanRefs counts installed rules per emitted CatOS port config.
+	// Several intents' paths may ride the same (port, vid) membership —
+	// the kernel state is shared, so only the last rule out may clear
+	// it. A boolean here once let a rerouted intent's teardown strip a
+	// membership another intent still depended on, with every module
+	// still reporting its rules installed: converged control plane,
+	// black-holed data plane.
+	vlanRefs map[string]int
 }
 
 // NewETH creates an Ethernet module. For routers pass a single interface;
@@ -54,7 +61,7 @@ func NewETH(svc device.Services, id core.ModuleID, isSwitch bool, ifaces ...stri
 		external:  make(map[core.PipeID]bool),
 		upPipes:   make(map[core.PipeID]*device.Pipe),
 		ruleUndo:  make(map[string]func()),
-		vlanDone:  make(map[string]bool),
+		vlanRefs:  make(map[string]int),
 	}
 	return e
 }
@@ -315,23 +322,39 @@ func (e *ETH) installVLANPortRule(r *device.SwitchRuleInstance, iface string, vl
 
 	key := fmt.Sprintf("%s/%d/%v", iface, vid, r.Rule.Match != nil)
 	e.mu.Lock()
-	done := e.vlanDone[key]
-	e.vlanDone[key] = true
+	e.vlanRefs[key]++
+	first := e.vlanRefs[key] == 1
 	e.mu.Unlock()
-	if done {
-		return nil, nil
+
+	// release drops this rule's claim on the port config and reports
+	// whether it was the last one; only then may the kernel state go.
+	release := func() bool {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		e.vlanRefs[key]--
+		if e.vlanRefs[key] <= 0 {
+			delete(e.vlanRefs, key)
+			return true
+		}
+		return false
 	}
 	undo := func() {
-		k.ClearPortVLAN(iface, uint16(vid))
-		e.mu.Lock()
-		delete(e.vlanDone, key)
-		e.mu.Unlock()
+		if release() {
+			k.ClearPortVLAN(iface, uint16(vid))
+		}
+	}
+	if !first {
+		// The port config is already emitted on another rule's behalf;
+		// this rule only holds a reference so teardown of one intent's
+		// path cannot strip a membership a co-riding intent still uses.
+		return undo, nil
 	}
 
 	if r.Rule.Match != nil && r.Rule.Match.Kind == "tagged" {
 		// Customer-facing QinQ tunnel port.
 		script := fmt.Sprintf("interface %s\nswitchport access vlan %d\nswitchport mode dot1q-tunnel\nexit", iface, vid)
 		if _, err := k.ExecScript(script); err != nil {
+			release()
 			return nil, err
 		}
 		return undo, nil
@@ -341,12 +364,11 @@ func (e *ETH) installVLANPortRule(r *device.SwitchRuleInstance, iface string, vl
 	// [Phy, Tagged => P] pair names the same port and must not
 	// reconfigure it).
 	if mode, _ := k.PortModeOf(iface); mode == kernel.ModeDot1qTunnel || mode == kernel.ModeAccess {
-		e.mu.Lock()
-		delete(e.vlanDone, key)
-		e.mu.Unlock()
+		release()
 		return nil, nil
 	}
 	if _, err := k.Exec(fmt.Sprintf("set vlan %d %s", vid, iface)); err != nil {
+		release()
 		return nil, err
 	}
 	return undo, nil

@@ -133,7 +133,15 @@ func (v *VLAN) PipeAttached(p *device.Pipe, side device.PipeSide) error {
 			}
 		} else {
 			// P2-style neighbour pipe: coordinate the VID hop-by-hop.
-			if v.Ref().String() < myPeer.String() && !v.exchanged[myPeer.String()] {
+			// Either side may initiate once it knows the VID. Restricting
+			// initiation to the smaller reference (as first written)
+			// deadlocks on arbitrary topologies: when the allocating
+			// endpoint's chain reaches a hop whose VID-less side has the
+			// smaller reference, the knowing side never speaks and the
+			// ignorant side has nothing to say. The exchanged set keeps
+			// the handshake to one exchange per pair regardless of who
+			// fires first.
+			if !v.exchanged[myPeer.String()] {
 				v.pendingPeers = append(v.pendingPeers, myPeer)
 			}
 		}

@@ -85,6 +85,7 @@ type Network struct {
 	ports    map[PortID]*Port
 	media    map[string]*Medium
 	carrier  map[core.DeviceID]func()
+	tcn      map[core.DeviceID]func()
 	queue    []delivery
 	pumping  bool
 	seq      int
@@ -109,6 +110,7 @@ func New() *Network {
 		ports:    make(map[PortID]*Port),
 		media:    make(map[string]*Medium),
 		carrier:  make(map[core.DeviceID]func()),
+		tcn:      make(map[core.DeviceID]func()),
 		captures: make(map[string][]Capture),
 		capture:  make(map[string]bool),
 		MaxSteps: 1_000_000,
@@ -175,6 +177,32 @@ func (n *Network) PortMAC(id PortID) (packet.MAC, error) {
 func (n *Network) Connect(name string, ids ...PortID) (*Medium, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	return n.connectLocked(name, ids...)
+}
+
+// WireSpec names one point-to-point wire of a batch.
+type WireSpec struct {
+	Name string
+	A, B PortID
+}
+
+// ConnectAll joins every wire of a generated fabric under one lock
+// acquisition — the batch path for topology generators, where wiring a
+// few thousand media one Connect call at a time is measurable setup
+// cost. The batch is atomic in naming only: on error, wires connected
+// before the failing spec stay connected.
+func (n *Network) ConnectAll(wires []WireSpec) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for _, w := range wires {
+		if _, err := n.connectLocked(w.Name, w.A, w.B); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Network) connectLocked(name string, ids ...PortID) (*Medium, error) {
 	if len(ids) < 2 {
 		return nil, fmt.Errorf("netsim: medium %q needs at least 2 ports", name)
 	}
@@ -214,6 +242,12 @@ func (n *Network) SetMediumUp(name string, up bool) error {
 	m.up = up
 	var notify []func()
 	if changed {
+		// Domain-wide listeners first: a bridge must have fast-aged its
+		// table before the adjacent devices' link-state interrupts kick
+		// off reconciliation traffic.
+		for _, fn := range n.tcn {
+			notify = append(notify, fn)
+		}
 		seen := make(map[core.DeviceID]bool)
 		for _, p := range m.ports {
 			if fn := n.carrier[p.ID.Device]; fn != nil && !seen[p.ID.Device] {
@@ -236,6 +270,19 @@ func (n *Network) OnCarrierChange(dev core.DeviceID, fn func()) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.carrier[dev] = fn
+}
+
+// OnTopologyChange registers a callback invoked when ANY medium in the
+// network flips, adjacent or not — the data-plane analogue of 802.1D's
+// topology-change notification, which reaches every bridge in the L2
+// domain so all of them fast-age their forwarding tables. Without it a
+// path that swings away from a failure leaves unicast entries on
+// untouched switches pointing into the dead direction forever (the
+// simulator has no aging clock).
+func (n *Network) OnTopologyChange(dev core.DeviceID, fn func()) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.tcn[dev] = fn
 }
 
 // Medium returns a medium by name.
