@@ -1,0 +1,33 @@
+// Command conmanvet is the repo's static-analysis suite: a vet-style
+// multichecker enforcing CONMan's module-invariant contracts.
+//
+// It bundles three analyzers (see docs/analysis.md):
+//
+//	clonecheck  — Clone() methods must deep-copy every reference field
+//	lockcheck   — `guarded by mu` fields and no blocking under locks
+//	pairedstate — kernel installers need removers on a delete path
+//
+// Run it either way:
+//
+//	go vet -vettool=$(which conmanvet) ./...   # standard vettool protocol
+//	conmanvet ./...                            # self-hosting shortcut
+//
+// The second form re-execs `go vet -vettool=<self>` so the go build
+// system supplies type information and caching; there is no separate
+// loader to keep in sync.
+package main
+
+import (
+	"conman/internal/analysis"
+	"conman/internal/analysis/clonecheck"
+	"conman/internal/analysis/lockcheck"
+	"conman/internal/analysis/pairedstate"
+)
+
+func main() {
+	analysis.Main(
+		clonecheck.Analyzer,
+		lockcheck.Analyzer,
+		pairedstate.Analyzer,
+	)
+}

@@ -1,0 +1,255 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest closely enough that the
+// fixtures would work unchanged under the real harness.
+//
+// Fixture layout: <testdata>/src/<pkg>/*.go, one package per
+// directory. A diagnostic is expected on a source line by suffixing it
+// with a comment of the form
+//
+//	// want "regexp"
+//	// want `regexp` "second regexp"
+//
+// Every diagnostic must match a pattern on its line and every pattern
+// must be matched by a diagnostic; anything else fails the test.
+//
+// Fixtures may import standard-library packages; their export data is
+// resolved by shelling out to `go list -export`, which requires the go
+// toolchain (always present under `go test`).
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"conman/internal/analysis"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Run analyzes each fixture package under dir/src and reports
+// mismatches between produced diagnostics and // want expectations as
+// test errors.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		pkg := pkg
+		t.Run(pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(dir, "src", pkg), pkg, a)
+		})
+	}
+}
+
+func runOne(t *testing.T, pkgDir, pkgPath string, a *analysis.Analyzer) {
+	t.Helper()
+	entries, err := os.ReadDir(pkgDir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(pkgDir, e.Name())
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+		names = append(names, name)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", pkgDir)
+	}
+
+	imp, err := stdlibImporter(fset, files)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	pkg, err := analysis.CheckFiles(fset, pkgPath, "", files, imp)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", pkgPath, err)
+	}
+	diags, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, fset, files)
+	checkDiagnostics(t, fset, diags, wants)
+	_ = names
+}
+
+// want is one expectation: a compiled pattern at file:line.
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*want {
+	t.Helper()
+	var wants []*want
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Slash)
+				for _, raw := range splitPatterns(t, m[1], pos) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, raw, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// splitPatterns parses the space-separated quoted ("..." or `...`)
+// patterns of a want comment.
+func splitPatterns(t *testing.T, s string, pos token.Position) []string {
+	t.Helper()
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(s); i++ {
+				if s[i] == '"' && s[i-1] != '\\' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			unq, err := strconv.Unquote(s[:end+1])
+			if err != nil {
+				t.Fatalf("%s: bad want pattern %s: %v", pos, s[:end+1], err)
+			}
+			out = append(out, unq)
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.IndexByte(s[1:], '`')
+			if end < 0 {
+				t.Fatalf("%s: unterminated want pattern: %s", pos, s)
+			}
+			out = append(out, s[1:1+end])
+			s = strings.TrimSpace(s[2+end:])
+		default:
+			t.Fatalf("%s: want patterns must be quoted, got: %s", pos, s)
+		}
+	}
+	return out
+}
+
+func checkDiagnostics(t *testing.T, fset *token.FileSet, diags []analysis.Diagnostic, wants []*want) {
+	t.Helper()
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != pos.Filename || w.line != pos.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// stdlibImporter builds an importer covering the transitive imports of
+// the fixture files, using `go list -export` to locate (and, on a cold
+// cache, produce) compiler export data.
+func stdlibImporter(fset *token.FileSet, files []*ast.File) (types.Importer, error) {
+	seen := map[string]bool{}
+	var paths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p == "C" || seen[p] {
+				continue
+			}
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	packageFile := map[string]string{}
+	if len(paths) > 0 {
+		m, err := goListExport(paths)
+		if err != nil {
+			return nil, err
+		}
+		packageFile = m
+	}
+	return analysis.ExportDataImporter(fset, nil, packageFile), nil
+}
+
+// goListExport resolves import paths (plus their transitive deps) to
+// compiler export data files.
+func goListExport(paths []string) (map[string]string, error) {
+	args := append([]string{"list", "-deps", "-export", "-f", "{{.ImportPath}}={{.Export}}"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Env = os.Environ()
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return nil, fmt.Errorf("go list -export %v: %v\n%s", paths, err, ee.Stderr)
+		}
+		return nil, err
+	}
+	m := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		k, v, ok := strings.Cut(line, "=")
+		if ok && v != "" {
+			m[k] = v
+		}
+	}
+	return m, nil
+}

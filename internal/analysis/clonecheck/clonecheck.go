@@ -1,0 +1,405 @@
+// Package clonecheck verifies that every Clone() method deep-copies
+// every reference-typed field of its receiver.
+//
+// The invariant: conman modules hand out core.Abstraction (and friends)
+// by value, relying on Clone() to sever aliasing — "callers can mutate
+// their copy without aliasing the module's own state". Clone() is
+// hand-maintained, so every new slice/map/pointer field silently
+// drifts to a shallow copy unless someone remembers to extend the
+// method (PR 5 had to remember Switch.StateDependency by hand). This
+// analyzer turns that memory into a build failure.
+//
+// For each method named Clone with a struct receiver declared in the
+// package, the analyzer computes the set of reference field paths of
+// the receiver type: fields whose type is (or contains, recursing
+// through nested and embedded same-package structs) a slice, map,
+// pointer or channel. Named struct types from other packages are
+// treated as opaque values — their Clone semantics are their own
+// package's contract. Each reference path must be mentioned by the
+// method body in a non-shallow position:
+//
+//   - an exact mention (b.Up.Connectable = append(...), a range over
+//     a.Tradeoffs, a nil check of a.Switch.StateDependency) satisfies
+//     the path;
+//   - a mention of a path prefix as a call argument or method receiver
+//     (b.Up = a.Up.Clone()) satisfies everything below that prefix;
+//   - an assignment whose left and right sides are the same field path
+//     (b.Attributes = a.Attributes) is a shallow copy and is reported
+//     as such, not merely unhandled.
+//
+// Deliberately shared references are annotated on the struct field:
+//
+//	Shared *Registry //conmanvet:shared
+//
+// which exempts the field (and everything beneath it) from the check.
+package clonecheck
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"conman/internal/analysis"
+)
+
+// Analyzer is the clonecheck analyzer.
+var Analyzer = &analysis.Analyzer{
+	Name: "clonecheck",
+	Doc:  "check that Clone() methods deep-copy every reference-typed field",
+	Run:  run,
+}
+
+// sharedMarker on a struct field's comment exempts it from the check.
+const sharedMarker = "conmanvet:shared"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	shared := sharedFields(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Name.Name != "Clone" || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			if fd.Type.Params != nil && len(fd.Type.Params.List) > 0 {
+				continue // not the zero-arg Clone convention
+			}
+			checkClone(pass, fd, shared)
+		}
+	}
+	return nil, nil
+}
+
+// sharedFields collects the *types.Var of every struct field annotated
+// //conmanvet:shared anywhere in the package.
+func sharedFields(pass *analysis.Pass) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				if !fieldMarked(field) {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						out[v] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func fieldMarked(field *ast.Field) bool {
+	if field.Comment != nil {
+		for _, c := range field.Comment.List {
+			if strings.Contains(c.Text, sharedMarker) {
+				return true
+			}
+		}
+	}
+	if field.Doc != nil {
+		for _, c := range field.Doc.List {
+			if strings.Contains(c.Text, sharedMarker) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// refPath is one reference-typed field path below the receiver type.
+type refPath struct {
+	path []string
+	kind string // rendering of the reference type
+}
+
+func checkClone(pass *analysis.Pass, fd *ast.FuncDecl, shared map[*types.Var]bool) {
+	recv := fd.Recv.List[0]
+	var recvIdent *ast.Ident
+	if len(recv.Names) == 1 {
+		recvIdent = recv.Names[0]
+	}
+	var recvType types.Type
+	if recvIdent != nil {
+		if v, ok := pass.TypesInfo.Defs[recvIdent].(*types.Var); ok {
+			recvType = v.Type()
+		}
+	}
+	if recvType == nil {
+		tv, ok := pass.TypesInfo.Types[recv.Type]
+		if !ok {
+			return
+		}
+		recvType = tv.Type
+	}
+	named, ok := derefNamed(recvType)
+	if !ok {
+		return
+	}
+	st, ok := named.Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+
+	paths := refPaths(st, named.Obj().Pkg(), nil, map[*types.Named]bool{named: true}, shared)
+	if len(paths) == 0 {
+		return
+	}
+
+	strong, shallow, prefixCalls := mentions(pass, fd, named)
+	for _, p := range paths {
+		key := strings.Join(p.path, ".")
+		if strong[key] || prefixSatisfied(p.path, prefixCalls) {
+			continue
+		}
+		typeName := named.Obj().Name()
+		if shallow[key] || shallowPrefix(p.path, shallow) {
+			pass.Reportf(fd.Name.Pos(),
+				"%s.Clone() shallow-copies reference field %s.%s (%s); the copy aliases the original",
+				typeName, typeName, key, p.kind)
+			continue
+		}
+		pass.Reportf(fd.Name.Pos(),
+			"%s.Clone() does not deep-copy reference field %s.%s (%s); mutations through the copy alias the original (annotate the field //conmanvet:shared if aliasing is intended)",
+			typeName, typeName, key, p.kind)
+	}
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	return n, ok
+}
+
+// refPaths walks the struct's fields, recursing through same-package
+// struct fields (named or embedded), and returns every path whose
+// terminal type is a reference.
+func refPaths(st *types.Struct, pkg *types.Package, prefix []string, seen map[*types.Named]bool, shared map[*types.Var]bool) []refPath {
+	var out []refPath
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if shared[f] {
+			continue
+		}
+		path := append(append([]string(nil), prefix...), f.Name())
+		t := f.Type()
+
+		// Unwrap one layer of named type to decide the shape, but
+		// remember whether recursion would cross a package boundary.
+		var under types.Type = t
+		var namedT *types.Named
+		if n, ok := t.(*types.Named); ok {
+			namedT = n
+			under = n.Underlying()
+		}
+
+		switch u := under.(type) {
+		case *types.Slice, *types.Map, *types.Chan:
+			out = append(out, refPath{path: path, kind: types.TypeString(t, types.RelativeTo(pkg))})
+		case *types.Pointer:
+			out = append(out, refPath{path: path, kind: types.TypeString(t, types.RelativeTo(pkg))})
+		case *types.Struct:
+			if namedT != nil {
+				if namedT.Obj().Pkg() != pkg || seen[namedT] {
+					continue // opaque foreign type, or cycle
+				}
+				seen[namedT] = true
+				out = append(out, refPaths(u, pkg, path, seen, shared)...)
+				delete(seen, namedT)
+			} else {
+				out = append(out, refPaths(u, pkg, path, seen, shared)...)
+			}
+		case *types.Array:
+			if containsReference(u.Elem(), pkg, map[*types.Named]bool{}) {
+				out = append(out, refPath{path: path, kind: types.TypeString(t, types.RelativeTo(pkg))})
+			}
+		}
+	}
+	return out
+}
+
+// containsReference reports whether t transitively contains a
+// reference type, with the same foreign-package opacity rule.
+func containsReference(t types.Type, pkg *types.Package, seen map[*types.Named]bool) bool {
+	var namedT *types.Named
+	if n, ok := t.(*types.Named); ok {
+		namedT = n
+		if seen[namedT] {
+			return false
+		}
+		seen[namedT] = true
+		t = n.Underlying()
+	}
+	switch u := t.(type) {
+	case *types.Slice, *types.Map, *types.Chan, *types.Pointer:
+		return true
+	case *types.Array:
+		return containsReference(u.Elem(), pkg, seen)
+	case *types.Struct:
+		if namedT != nil && namedT.Obj().Pkg() != pkg {
+			return false
+		}
+		for i := 0; i < u.NumFields(); i++ {
+			if containsReference(u.Field(i).Type(), pkg, seen) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// mentions scans the Clone body and classifies every selector chain
+// rooted at a value of the receiver type:
+//
+//	strong:      paths used anywhere except a pure same-path shallow
+//	             assignment (append args, make, nil checks, ranges, ...)
+//	shallow:     paths whose only role is b.P = a.P
+//	prefixCalls: paths used as the receiver of a method call
+//	             (a.Up.Clone()) — satisfies everything beneath.
+func mentions(pass *analysis.Pass, fd *ast.FuncDecl, root *types.Named) (strong, shallow, prefixCalls map[string]bool) {
+	strong = map[string]bool{}
+	shallow = map[string]bool{}
+	prefixCalls = map[string]bool{}
+
+	// Pure same-path assignments first, so the walk below can skip
+	// exactly those selector nodes.
+	shallowNodes := map[ast.Expr]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			lp, lok := selectorPath(pass, as.Lhs[i], root)
+			rp, rok := selectorPath(pass, as.Rhs[i], root)
+			if lok && rok && lp == rp {
+				shallowNodes[as.Lhs[i]] = true
+				shallowNodes[as.Rhs[i]] = true
+				shallow[lp] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				if pass.TypesInfo.Selections[sel] != nil && pass.TypesInfo.Selections[sel].Kind() == types.MethodVal {
+					if p, ok := selectorPath(pass, sel.X, root); ok {
+						prefixCalls[p] = true
+					}
+				}
+			}
+			// A field handed whole to a helper (b.Up = deepCopy(a.Up))
+			// is that helper's responsibility: satisfy its subtree.
+			for _, arg := range call.Args {
+				if p, ok := selectorPath(pass, arg, root); ok {
+					prefixCalls[p] = true
+				}
+			}
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok || shallowNodes[sel] {
+			return true
+		}
+		if p, ok := selectorPath(pass, sel, root); ok {
+			strong[p] = true
+		}
+		return true
+	})
+	return strong, shallow, prefixCalls
+}
+
+// selectorPath resolves expr to a field path rooted at a value of the
+// receiver type, expanding promoted (embedded) selections to their
+// full path.
+func selectorPath(pass *analysis.Pass, expr ast.Expr, root *types.Named) (string, bool) {
+	expr = unparen(expr)
+	var chain []*ast.SelectorExpr
+	cur := expr
+	for {
+		s, ok := cur.(*ast.SelectorExpr)
+		if !ok {
+			break
+		}
+		chain = append([]*ast.SelectorExpr{s}, chain...)
+		cur = unparen(s.X)
+	}
+	if len(chain) == 0 {
+		return "", false
+	}
+	baseTV, ok := pass.TypesInfo.Types[cur]
+	if !ok {
+		return "", false
+	}
+	baseNamed, ok := derefNamed(baseTV.Type)
+	if !ok || baseNamed.Obj() != root.Obj() {
+		return "", false
+	}
+	var parts []string
+	for _, s := range chain {
+		sel := pass.TypesInfo.Selections[s]
+		if sel == nil || sel.Kind() != types.FieldVal {
+			return "", false
+		}
+		// Expand the index chain so promoted fields contribute the
+		// embedded hops their syntax elides.
+		t := sel.Recv()
+		for _, idx := range sel.Index() {
+			st, ok := structUnder(t)
+			if !ok {
+				return "", false
+			}
+			f := st.Field(idx)
+			parts = append(parts, f.Name())
+			t = f.Type()
+		}
+	}
+	return strings.Join(parts, "."), true
+}
+
+func structUnder(t types.Type) (*types.Struct, bool) {
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func prefixSatisfied(path []string, prefixCalls map[string]bool) bool {
+	for i := 1; i < len(path); i++ {
+		p := strings.Join(path[:i], ".")
+		if prefixCalls[p] {
+			return true
+		}
+	}
+	return false
+}
+
+func shallowPrefix(path []string, shallow map[string]bool) bool {
+	for i := 1; i < len(path); i++ {
+		if shallow[strings.Join(path[:i], ".")] {
+			return true
+		}
+	}
+	return false
+}
+
+// unparen strips parentheses. (ast.Unparen needs go1.22; go.mod says 1.21.)
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}

@@ -1,0 +1,12 @@
+package clonecheck_test
+
+import (
+	"testing"
+
+	"conman/internal/analysis/analysistest"
+	"conman/internal/analysis/clonecheck"
+)
+
+func TestClonecheck(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), clonecheck.Analyzer, "a")
+}

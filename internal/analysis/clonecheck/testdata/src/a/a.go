@@ -1,0 +1,144 @@
+// Fixture for clonecheck: Clone() methods that do and do not deep-copy
+// their receiver's reference fields.
+package a
+
+import "time"
+
+type Dep struct {
+	Token string
+}
+
+type Inner struct {
+	List []int
+}
+
+// Good deep-copies everything: exact mentions, nil-checked pointer
+// copy, nested struct path, and an opaque foreign value type.
+type Good struct {
+	Names  []string
+	Attrs  map[string]string
+	Dep    *Dep
+	Nested Inner
+	When   time.Time
+	val    int
+}
+
+func (g Good) Clone() Good {
+	out := g
+	out.Names = append([]string(nil), g.Names...)
+	if g.Attrs != nil {
+		out.Attrs = make(map[string]string, len(g.Attrs))
+		for k, v := range g.Attrs {
+			out.Attrs[k] = v
+		}
+	}
+	if g.Dep != nil {
+		d := *g.Dep
+		out.Dep = &d
+	}
+	out.Nested.List = append([]int(nil), g.Nested.List...)
+	return out
+}
+
+// Bad reproduces the historical drift: a field was added (Extra) and
+// Clone was never extended — plus a nested path nobody copied.
+type Bad struct {
+	Names  []string
+	Extra  []string
+	Nested Inner
+}
+
+func (b Bad) Clone() Bad { // want `Bad.Clone\(\) does not deep-copy reference field Bad.Extra` `Bad.Clone\(\) does not deep-copy reference field Bad.Nested.List`
+	out := b
+	out.Names = append([]string(nil), b.Names...)
+	return out
+}
+
+// Shallow explicitly assigns the same path on both sides — aliasing
+// dressed up as handling.
+type Shallow struct {
+	Attrs map[string]string
+}
+
+func (s Shallow) Clone() Shallow { // want `Shallow.Clone\(\) shallow-copies reference field Shallow.Attrs`
+	out := s
+	out.Attrs = s.Attrs
+	return out
+}
+
+// SharedOK opts a deliberately aliased field out with the escape hatch.
+type SharedOK struct {
+	Registry map[string]int //conmanvet:shared — one process-wide table
+	Names    []string
+}
+
+func (s SharedOK) Clone() SharedOK {
+	out := s
+	out.Names = append([]string(nil), s.Names...)
+	return out
+}
+
+// PtrRecv checks the pointer-receiver form.
+type PtrRecv struct {
+	Names []string
+}
+
+func (p *PtrRecv) Clone() *PtrRecv { // want `PtrRecv.Clone\(\) does not deep-copy reference field PtrRecv.Names`
+	out := *p
+	return &out
+}
+
+// Emb checks that a promoted mention (e.Clone's out.List) satisfies
+// the full embedded path Inner.List.
+type Emb struct {
+	Inner
+	Tag string
+}
+
+func (e Emb) Clone() Emb {
+	out := e
+	out.List = append([]int(nil), e.List...)
+	return out
+}
+
+// Helper checks the call-argument rule: handing the field to a helper
+// satisfies its subtree.
+type Helper struct {
+	M map[string]int
+}
+
+func copyMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func (h Helper) Clone() Helper {
+	out := h
+	out.M = copyMap(h.M)
+	return out
+}
+
+// SubClone checks the method-receiver prefix rule: calling Clone on a
+// nested same-package struct satisfies everything beneath it.
+type Sub struct {
+	List []int
+}
+
+func (s Sub) Clone() Sub {
+	out := s
+	out.List = append([]int(nil), s.List...)
+	return out
+}
+
+type HasSub struct {
+	S Sub
+}
+
+func (h HasSub) Clone() HasSub {
+	out := h
+	out.S = h.S.Clone()
+	return out
+}

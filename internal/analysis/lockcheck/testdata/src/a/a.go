@@ -1,0 +1,170 @@
+// Fixture for lockcheck: `guarded by mu` field discipline and
+// blocking-under-lock detection.
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+
+	events chan int
+}
+
+// Good holds the lock across the access.
+func (c *Counter) Good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// Bad reads the guarded field with no lock at all.
+func (c *Counter) Bad() int {
+	return c.n // want `c\.n is accessed without holding c\.mu`
+}
+
+// AfterUnlock reads the guarded field after releasing the lock.
+func (c *Counter) AfterUnlock() int {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	return n + c.n // want `c\.n is accessed without holding c\.mu`
+}
+
+// EarlyExit releases the lock only on the early-return branch; the
+// fall-through access is still protected and must not be flagged.
+func (c *Counter) EarlyExit(stop bool) int {
+	c.mu.Lock()
+	if stop {
+		c.mu.Unlock()
+		return 0
+	}
+	n := c.n
+	c.mu.Unlock()
+	return n
+}
+
+// bumpLocked asserts by name that the caller holds the lock.
+func (c *Counter) bumpLocked() {
+	c.n++
+}
+
+// Fresh builds the value locally; nothing else can see it yet.
+func Fresh() int {
+	c := &Counter{}
+	c.n = 41
+	d := Counter{}
+	d.n++
+	var e = &Counter{}
+	return c.n + d.n + e.n
+}
+
+// Allowed uses the escape hatch.
+func (c *Counter) Allowed() int {
+	return c.n //conmanvet:allow — snapshot read, staleness is fine here
+}
+
+// Closure scopes are independent: the literal runs later, without the
+// lock the creator held.
+func (c *Counter) Leaky() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.n // want `c\.n is accessed without holding c\.mu`
+	}
+}
+
+// ClosureGood locks inside the literal itself.
+func (c *Counter) ClosureGood() func() int {
+	return func() int {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		return c.n
+	}
+}
+
+// SendUnderLock is the historical regression shape: a bare channel
+// send while holding the mutex wedges the holder behind a slow
+// receiver.
+func (c *Counter) SendUnderLock(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events <- v // want `blocking channel send while holding c\.mu`
+}
+
+// PublishNonBlocking is the compliant form: select with default.
+func (c *Counter) PublishNonBlocking(v int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case c.events <- v:
+	default:
+	}
+}
+
+// SendAfterUnlock is fine: the lock is gone before the send.
+func (c *Counter) SendAfterUnlock(v int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	c.events <- n + v
+}
+
+// SleepUnderLock blocks every contender for the duration.
+func (c *Counter) SleepUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond) // want `time\.Sleep while holding c\.mu`
+}
+
+// WaitUnderLock parks while holding the lock.
+func (c *Counter) WaitUnderLock(wg *sync.WaitGroup) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	wg.Wait() // want `sync\.WaitGroup\.Wait while holding c\.mu`
+}
+
+// RW checks RWMutex handling: RLock counts as held.
+type RW struct {
+	mu   sync.RWMutex
+	data map[string]int // guarded by mu
+}
+
+func (r *RW) Get(k string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.data[k]
+}
+
+func (r *RW) GetRacy(k string) int {
+	return r.data[k] // want `r\.data is accessed without holding r\.mu`
+}
+
+// Embedded checks promoted-lock path expansion: m.Lock() is
+// m.Mutex.Lock(), matching `guarded by Mutex`.
+type Embedded struct {
+	sync.Mutex
+	n int // guarded by Mutex
+}
+
+func (m *Embedded) Bump() {
+	m.Lock()
+	m.n++
+	m.Unlock()
+}
+
+// Bad annotations are themselves diagnosed.
+type BadGuardName struct {
+	// guarded by lock
+	n  int // want `field is guarded by "lock" but the struct has no such field`
+	mu sync.Mutex
+}
+
+type BadGuardType struct {
+	mu int
+	// guarded by mu
+	n int // want `field is guarded by "mu" which is not a sync\.Mutex or sync\.RWMutex`
+}

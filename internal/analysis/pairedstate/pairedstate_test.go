@@ -1,0 +1,12 @@
+package pairedstate_test
+
+import (
+	"testing"
+
+	"conman/internal/analysis/analysistest"
+	"conman/internal/analysis/pairedstate"
+)
+
+func TestPairedstate(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(), pairedstate.Analyzer, "modules")
+}

@@ -1,0 +1,90 @@
+// Fixture for pairedstate: kernel installer calls and their removers.
+// The package path contains "modules", so the analyzer is active.
+package modules
+
+// Kernel stands in for the real shared-kernel API: the analyzer keys
+// on the type name.
+type Kernel struct{}
+
+func (k *Kernel) AddRoute(dst string)               {}
+func (k *Kernel) DelRouteWhere(f func(string) bool) {}
+func (k *Kernel) AddFilter(id int)                  {}
+func (k *Kernel) DelFilter(id int)                  {}
+func (k *Kernel) AddOrphan(id int)                  {}
+func (k *Kernel) AddAddr(iface string)              {}
+func (k *Kernel) RegisterUDP(port int)              {}
+func (k *Kernel) UnregisterUDP(port int)            {}
+func (k *Kernel) DefineVLAN(vid int)                {}
+func (k *Kernel) UndefineVLAN(vid int)              {}
+func (k *Kernel) AddLabel(l int)                    {}
+func (k *Kernel) DelLabel(l int)                    {}
+
+// Good pairs its installer with a remover in DeleteRule.
+type Good struct{ k *Kernel }
+
+func (g *Good) InstallRule() { g.k.AddFilter(1) }
+func (g *Good) DeleteRule()  { g.k.DelFilter(1) }
+
+// PrefixOK: DelRouteWhere (prefix of the Del+Route stem) covers
+// AddRoute, and the remover sits behind a transitive same-module call
+// from PipeDeleted.
+type PrefixOK struct{ k *Kernel }
+
+func (p *PrefixOK) Install()     { p.k.AddRoute("10.0.0.0/8") }
+func (p *PrefixOK) PipeDeleted() { p.cleanup() }
+func (p *PrefixOK) cleanup() {
+	p.k.DelRouteWhere(func(string) bool { return true })
+}
+
+// UndoClosure keeps its remover in a stored closure — the
+// install-time-undo convention.
+type UndoClosure struct {
+	k    *Kernel
+	undo map[string]func()
+}
+
+func (u *UndoClosure) Install(name string) {
+	u.k.AddLabel(7)
+	u.undo[name] = func() { u.k.DelLabel(7) }
+}
+
+// Orphan is the historical regression shape: state installed, no
+// remover anywhere.
+type Orphan struct{ k *Kernel }
+
+func (o *Orphan) Install() {
+	o.k.AddOrphan(2) // want `Orphan installs kernel state via AddOrphan but no matching remover`
+}
+
+// RegNoUnreg registers a callback and never unregisters it; having an
+// unrelated Shutdown does not help.
+type RegNoUnreg struct{ k *Kernel }
+
+func (r *RegNoUnreg) Bind() {
+	r.k.RegisterUDP(67) // want `RegNoUnreg installs kernel state via RegisterUDP but no matching remover`
+}
+func (r *RegNoUnreg) Shutdown() {}
+
+// DefinePair pairs Define with Undefine via Shutdown.
+type DefinePair struct{ k *Kernel }
+
+func (d *DefinePair) Setup()    { d.k.DefineVLAN(100) }
+func (d *DefinePair) Shutdown() { d.k.UndefineVLAN(100) }
+
+// Owned uses the escape hatch for device-lifetime state installed by
+// its constructor.
+type Owned struct{ k *Kernel }
+
+func NewOwned(k *Kernel) *Owned {
+	k.AddAddr("eth0") //conmanvet:owned-elsewhere — device-lifetime address
+	return &Owned{k: k}
+}
+
+// CtorLeak is the constructor variant of the regression: installer in
+// a New* function with no remover on any delete path.
+type CtorLeak struct{ k *Kernel }
+
+func NewCtorLeak(k *Kernel) *CtorLeak {
+	k.AddOrphan(3) // want `CtorLeak installs kernel state via AddOrphan but no matching remover`
+	return &CtorLeak{k: k}
+}

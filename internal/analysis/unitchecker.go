@@ -1,0 +1,197 @@
+package analysis
+
+// The cmd/go vet-tool wire protocol. `go vet -vettool=conmanvet ./...`
+// drives the tool through three kinds of invocation:
+//
+//	conmanvet -flags          enumerate tool flags (JSON array)
+//	conmanvet -V=full         version/build-ID handshake (cache key)
+//	conmanvet <dir>/vet.cfg   analyze one package
+//
+// The vet.cfg file carries everything needed to re-typecheck the
+// package without a build system: the file list, the import map, and a
+// compiler export-data file per dependency. Dependency packages arrive
+// with VetxOnly=true — they exist only so fact-based analyzers can
+// export facts. conman's analyzers are deliberately package-local (the
+// module-abstraction invariants they check are, too), so those passes
+// just write an empty facts file and exit.
+//
+// Invoked any other way, Main re-execs `go vet -vettool=<self>` with
+// the given package patterns, so `conmanvet ./...` works directly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"os"
+	"os/exec"
+	"strings"
+)
+
+// Config mirrors the JSON schema of cmd/go's vet.cfg (see
+// cmd/go/internal/work.vetConfig). Fields the driver does not need are
+// still listed so unmarshalling stays strict-compatible across
+// toolchains.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ModuleVersion             string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point for a conmanvet-style multichecker binary.
+// It never returns.
+func Main(analyzers ...*Analyzer) {
+	progname := "conmanvet"
+	args := os.Args[1:]
+
+	// Flag handshakes from cmd/go.
+	for _, a := range args {
+		switch {
+		case a == "-flags" || a == "--flags":
+			// No tool-specific flags: cmd/go passes none through.
+			fmt.Println("[]")
+			os.Exit(0)
+		case strings.HasPrefix(a, "-V") || strings.HasPrefix(a, "--V"):
+			// The full line is cmd/go's cache key for vet results; the
+			// content hash of the binary is embedded by the build, so
+			// "devel" suffices here.
+			fmt.Printf("%s version devel comments-go-here buildID=devel\n", progname)
+			os.Exit(0)
+		case a == "help" || a == "-h" || a == "-help" || a == "--help":
+			fmt.Printf("%s is a `go vet` tool checking conman's module-invariant contracts.\n\n", progname)
+			fmt.Printf("usage: %s [package pattern ...]   (runs go vet -vettool=%s)\n\n", progname, progname)
+			fmt.Println("Registered analyzers:")
+			for _, an := range analyzers {
+				doc := an.Doc
+				if i := strings.IndexByte(doc, '\n'); i >= 0 {
+					doc = doc[:i]
+				}
+				fmt.Printf("  %-12s %s\n", an.Name, doc)
+			}
+			os.Exit(0)
+		}
+	}
+
+	// vet.cfg mode: a single JSON config argument.
+	if len(args) >= 1 && strings.HasSuffix(args[len(args)-1], ".cfg") {
+		code, err := runUnit(args[len(args)-1], jsonRequested(args), analyzers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+			os.Exit(1)
+		}
+		os.Exit(code)
+	}
+
+	// Standalone mode: delegate to go vet so the build system computes
+	// export data, caching and package patterns for us.
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: cannot locate own binary: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, args...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Stdin = os.Stdin
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			os.Exit(ee.ExitCode())
+		}
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+func jsonRequested(args []string) bool {
+	for _, a := range args {
+		if a == "-json" || a == "--json" {
+			return true
+		}
+	}
+	return false
+}
+
+// runUnit analyzes the single package described by a vet.cfg file and
+// returns the process exit code: 0 clean, 2 diagnostics reported (the
+// exit-code convention cmd/go expects from vet tools).
+func runUnit(cfgPath string, asJSON bool, analyzers []*Analyzer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, err
+	}
+	var cfg Config
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("parsing %s: %v", cfgPath, err)
+	}
+
+	// Always produce the facts output cmd/go caches, even when empty:
+	// a missing output file would defeat vet result caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return 0, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency pass: facts only, and we export none.
+		return 0, nil
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportDataImporter(fset, cfg.ImportMap, cfg.PackageFile)
+	pkg, err := LoadFiles(fset, cfg.ImportPath, cfg.GoVersion, cfg.GoFiles, imp)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("typechecking %s: %v", cfg.ImportPath, err)
+	}
+
+	diags, err := RunAnalyzers(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	if len(diags) == 0 {
+		return 0, nil
+	}
+	if asJSON {
+		// cmd/go's -json shape: {pkgID: {analyzer: [{posn, message}]}}.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := map[string][]jsonDiag{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+		out, err := json.MarshalIndent(map[string]map[string][]jsonDiag{cfg.ID: byAnalyzer}, "", "\t")
+		if err != nil {
+			return 0, err
+		}
+		fmt.Println(string(out))
+		return 0, nil
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2, nil
+}

@@ -22,8 +22,8 @@ type App struct {
 	mu       sync.Mutex
 	name     core.ModuleName
 	addr     netip.Addr
-	port     uint16
-	received [][]byte
+	port     uint16   // guarded by mu
+	received [][]byte // guarded by mu
 }
 
 // NewApp creates an application module listening on addr:port.
@@ -43,7 +43,10 @@ func NewApp(svc device.Services, name core.ModuleName, id core.ModuleID, addr ne
 
 func (a *App) bind() {
 	port := a.Port()
-	a.Svc.Kernel().RegisterUDP(port, func(src netip.Addr, sport uint16, payload []byte) {
+	// The socket is module-lifetime state: App modules are never torn
+	// down, and SetPort rebinds (UnregisterUDP + bind) rather than
+	// deletes.
+	a.Svc.Kernel().RegisterUDP(port, func(src netip.Addr, sport uint16, payload []byte) { //conmanvet:owned-elsewhere
 		a.mu.Lock()
 		a.received = append(a.received, append([]byte(nil), payload...))
 		a.mu.Unlock()

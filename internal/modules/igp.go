@@ -41,14 +41,14 @@ type IGP struct {
 
 	mu sync.Mutex
 	// adjs maps this module's down pipes to their adjacencies.
-	adjs map[core.PipeID]*igpAdj
+	adjs map[core.PipeID]*igpAdj // guarded by mu
 	// lsdb is the link-state database, keyed by origin module ref.
-	lsdb map[string]*igpLSA
+	lsdb map[string]*igpLSA // guarded by mu
 	// seq is the sequence number of this module's own LSA.
 	seq uint64
 	// installed tracks the kernel routes this module owns, keyed by
 	// dst|via|dev, so recomputation withdraws exactly the stale ones.
-	installed map[string]kernel.Route
+	installed map[string]kernel.Route // guarded by mu
 }
 
 // igpAdj is one adjacency derived from an NM-created pipe (keyed by

@@ -24,31 +24,31 @@ type IP struct {
 	mu     sync.Mutex
 	domain string
 	// addrs binds kernel interfaces to this module's assigned addresses.
-	addrs map[string]netip.Prefix
+	addrs map[string]netip.Prefix // guarded by mu
 
-	pipes map[core.PipeID]*ipPipe
+	pipes map[core.PipeID]*ipPipe // guarded by mu
 	// peerAddrs caches addresses learned through ip-exchange conveys,
 	// keyed by peer module ref string.
-	peerAddrs map[string]netip.Addr
+	peerAddrs map[string]netip.Addr // guarded by mu
 	// exchangesDone dedups initiations.
-	exchangesDone map[string]bool
+	exchangesDone map[string]bool // guarded by mu
 
-	rules []*device.SwitchRuleInstance
+	rules []*device.SwitchRuleInstance // guarded by mu
 	// ruleUndo maps an installed switch rule's id to the action undoing
 	// its kernel state (routes, policy tables), run when the rule or a
 	// pipe it references is deleted.
-	ruleUndo map[string]func()
+	ruleUndo map[string]func() // guarded by mu
 	// delivery is the resolved customer-delivery next hop ([pipe =>
 	// customer-pipe, gateway] rules); MPLS egress modules query it.
-	delivery map[string]string
+	delivery map[string]string // guarded by mu
 
 	// extraConnectable extends the advertised connectable lists beyond
 	// the paper's Table IV defaults (e.g. IPSec for the §II-F scenario).
 	extraConnectable []core.ModuleName
 
-	filters []*device.FilterRuleInstance
+	filters []*device.FilterRuleInstance // guarded by mu
 
-	emittedRoutes []string
+	emittedRoutes []string // guarded by mu
 }
 
 type ipPipe struct {
@@ -82,7 +82,9 @@ func NewIP(svc device.Services, id core.ModuleID, domain string, addrs map[strin
 		delivery:      make(map[string]string),
 	}
 	for iface, p := range addrs {
-		if err := svc.Kernel().AddAddr(iface, p); err != nil {
+		// NM-assigned interface addresses are device-lifetime state:
+		// they outlive every rule and pipe this module will manage.
+		if err := svc.Kernel().AddAddr(iface, p); err != nil { //conmanvet:owned-elsewhere
 			return nil, err
 		}
 		m.addrs[iface] = p

@@ -22,11 +22,11 @@ type MPLS struct {
 	mu        sync.Mutex
 	labelBase uint32
 	labelSeq  uint32
-	upPipes   map[core.PipeID]*device.Pipe
-	dnPipes   map[core.PipeID]*device.Pipe
+	upPipes   map[core.PipeID]*device.Pipe // guarded by mu
+	dnPipes   map[core.PipeID]*device.Pipe // guarded by mu
 	// neighbors holds per-peer label negotiation state keyed by the peer
 	// module's ref string.
-	neighbors map[string]*mplsNeighbor
+	neighbors map[string]*mplsNeighbor // guarded by mu
 	// pushKeys and via per up-pipe expose the ingress handle to the IP
 	// module above ({"mpls-key", "via"}).
 	pushKey string
@@ -38,15 +38,15 @@ type MPLS struct {
 	responded    bool
 	notified     bool
 	modprobed    bool
-	spacesSet    map[string]bool
-	rules        []*device.SwitchRuleInstance
+	spacesSet    map[string]bool              // guarded by mu
+	rules        []*device.SwitchRuleInstance // guarded by mu
 	// ruleUndo maps an installed rule's id to the action removing the
 	// ILM/NHLFE/XC entries it created.
-	ruleUndo map[string]func()
+	ruleUndo map[string]func() // guarded by mu
 	// pendingReplies holds label-exchange replies we cannot send yet
 	// because our own pipe toward the requester (and hence our link
 	// address) does not exist yet; flushed on pipe attachment.
-	pendingReplies []core.ModuleRef
+	pendingReplies []core.ModuleRef // guarded by mu
 }
 
 type mplsNeighbor struct {

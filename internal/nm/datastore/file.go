@@ -170,7 +170,13 @@ func (f *FileBackend) Append(e Entry) error {
 	return f.journal.Sync()
 }
 
-// Entries implements Backend.
+// Entries implements Backend. An unparseable final line is tolerated
+// only when the file does not end in '\n': per the append contract
+// that is exactly a torn write, while a newline-terminated line that
+// fails to parse is corruption wherever it sits. (Accepting the latter
+// would be worse than failing now: the next append would bury the bad
+// line mid-file, and the boot after that would refuse the journal —
+// with acknowledged writes after the corruption held hostage.)
 func (f *FileBackend) Entries() ([]Entry, error) {
 	r, err := os.Open(filepath.Join(f.dir, "journal.jsonl"))
 	if errors.Is(err, os.ErrNotExist) {
@@ -180,6 +186,10 @@ func (f *FileBackend) Entries() ([]Entry, error) {
 		return nil, err
 	}
 	defer r.Close()
+	tornTailPossible, err := lacksFinalNewline(r)
+	if err != nil {
+		return nil, err
+	}
 	var out []Entry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
@@ -193,7 +203,7 @@ func (f *FileBackend) Entries() ([]Entry, error) {
 		var e Entry
 		if err := json.Unmarshal(text, &e); err != nil {
 			// A torn trailing line is a crash artifact, not corruption.
-			if atEOF(sc) {
+			if tornTailPossible && atEOF(sc) {
 				break
 			}
 			return nil, fmt.Errorf("corrupt journal line %d: %w", line, err)
@@ -204,6 +214,24 @@ func (f *FileBackend) Entries() ([]Entry, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// lacksFinalNewline reports whether the (non-empty) file does not end
+// with '\n', i.e. its last line may be a torn append. The read offset
+// is restored to the start.
+func lacksFinalNewline(f *os.File) (bool, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return false, err
+	}
+	if st.Size() == 0 {
+		return false, nil
+	}
+	var last [1]byte
+	if _, err := f.ReadAt(last[:], st.Size()-1); err != nil {
+		return false, err
+	}
+	return last[0] != '\n', nil
 }
 
 // atEOF reports whether the scanner has no further lines.

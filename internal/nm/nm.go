@@ -141,54 +141,54 @@ func conveyStream(a, b core.ModuleRef, kind string) string {
 type NM struct {
 	mu       sync.Mutex
 	ep       channel.Endpoint
-	devices  map[core.DeviceID]*DeviceInfo
-	order    []core.DeviceID
+	devices  map[core.DeviceID]*DeviceInfo // guarded by mu
+	order    []core.DeviceID               // guarded by mu
 	counters Counters
 
 	reqSeq  uint64
-	waiters map[uint64]chan msg.Envelope
+	waiters map[uint64]chan msg.Envelope // guarded by mu
 
 	relaySeq uint64
-	relays   map[uint64]relayOrigin
+	relays   map[uint64]relayOrigin // guarded by mu
 
 	// domains maps abstract domain names (the NM's admitted
 	// protocol-specific knowledge, §III-C) to prefixes, and gateway
 	// tokens to addresses.
-	domains  map[string]string
-	gateways map[string]string
+	domains  map[string]string // guarded by mu
+	gateways map[string]string // guarded by mu
 
 	// intentDevs remembers, per applied intent name, the devices its
 	// configuration touched, so a later Plan or Reconcile can prune
 	// state from devices a re-chosen path no longer traverses (reroute
 	// after failure) or that only a withdrawn intent occupied.
-	intentDevs map[string]map[core.DeviceID]bool
+	intentDevs map[string]map[core.DeviceID]bool // guarded by mu
 
 	// store holds the registered goals of the intent store
 	// (Submit/Withdraw) by intent name; storeOrder keeps submission
 	// order so Reconcile compiles and renders deterministically.
-	store      map[string]Intent
-	storeOrder []string
+	store      map[string]Intent // guarded by mu
+	storeOrder []string          // guarded by mu
 
 	// notifies/triggers retain the most recent unsolicited events for
 	// inspection (bounded to eventRetain; live consumers use Subscribe).
-	notifies []msg.Notify
-	triggers []msg.Trigger
+	notifies []msg.Notify  // guarded by mu
+	triggers []msg.Trigger // guarded by mu
 
 	// subs are the live event subscribers (Subscribe); publishes that
 	// find a subscriber's buffer full are counted in eventsDropped
 	// rather than blocking the management channel.
-	subs          map[uint64]chan Event
+	subs          map[uint64]chan Event // guarded by mu
 	subSeq        uint64
 	eventSeq      uint64
 	eventsDropped uint64
 
 	// staleDevs are devices that were unreachable while holding stale
 	// configuration; they are re-checked (and pruned) once reachable.
-	staleDevs map[core.DeviceID]bool
+	staleDevs map[core.DeviceID]bool // guarded by mu
 
 	// installedTriggers dedups the NM's own InstallTrigger calls per
 	// (module, component), so repeated reconciles stay quiet.
-	installedTriggers map[string]bool
+	installedTriggers map[string]bool // guarded by mu
 
 	// obsGens is the per-device observation generation: bumped by every
 	// signal that the device's configured state may have changed (hello,
@@ -196,7 +196,7 @@ type NM struct {
 	// observed-state cache is valid only while its recorded generation
 	// still matches — event-driven invalidation instead of a showActual
 	// sweep per reconcile.
-	obsGens map[core.DeviceID]uint64
+	obsGens map[core.DeviceID]uint64 // guarded by mu
 	// compileGen is bumped by everything that can change compilation
 	// inputs (module discovery, topology, domain/gateway bindings). The
 	// store falls back to a full union rebuild when it moves.
@@ -206,25 +206,25 @@ type NM struct {
 	// rebuilding the potential graph per intent is O(k^2) at store
 	// scale. The graph is read-only after construction (searches keep
 	// their state in a per-call finder), so sharing it is safe.
-	graphCache *Graph
+	graphCache *Graph // guarded by mu
 	graphGen   uint64
 	// expectNotify counts module notifies the NM's own reconcile deletes
 	// are about to cause (keyed dev|kind|detail), so self-inflicted
 	// events do not invalidate the observation cache the reconcile just
 	// wrote through. The events still publish to subscribers.
-	expectNotify map[string]int
+	expectNotify map[string]int // guarded by mu
 
 	// planMu serialises store planning/apply and guards ss, the
 	// incremental union + observation-cache state. Lock order: planMu
 	// before mu, never the reverse.
 	planMu sync.Mutex
-	ss     *storeState
+	ss     *storeState // guarded by planMu
 
 	// ssDirty/ssRemoved record store mutations since the last PlanStore
 	// drained them; storePos keeps each registered intent's submission
 	// index so dirty intents merge in deterministic order.
-	ssDirty   map[string]bool
-	ssRemoved map[string]bool
+	ssDirty   map[string]bool // guarded by mu
+	ssRemoved map[string]bool // guarded by mu
 	storePos  map[string]int
 
 	// journal, when set via Persist, durably records store mutations;
@@ -234,15 +234,15 @@ type NM struct {
 	snapshotsWritten uint64
 
 	logEnabled bool
-	msgLog     []logEntry
-	logSeq     map[string]uint64
+	msgLog     []logEntry        // guarded by mu
+	logSeq     map[string]uint64 // guarded by mu
 
 	// onTrigger, when set via SetOnTrigger, is invoked for
 	// dependency-maintenance triggers (§II-E). It has its own lock so
 	// registration waits out any in-flight dispatch instead of racing
 	// with it.
 	triggerMu sync.RWMutex
-	onTrigger func(t msg.Trigger)
+	onTrigger func(t msg.Trigger) // guarded by triggerMu
 
 	// CallTimeout bounds request/response calls.
 	CallTimeout time.Duration
@@ -386,7 +386,7 @@ func (n *NM) MessageLog() []string {
 
 // logf records one event in the given stream. Caller must pick the
 // stream so that all its events are causally ordered at the NM.
-func (n *NM) logf(stream string, format string, args ...any) {
+func (n *NM) logfLocked(stream string, format string, args ...any) {
 	if !n.logEnabled {
 		return
 	}
@@ -447,7 +447,7 @@ func (n *NM) Triggers() []msg.Trigger {
 	return append([]msg.Trigger(nil), n.triggers...)
 }
 
-func (n *NM) deviceInfo(id core.DeviceID) *DeviceInfo {
+func (n *NM) deviceInfoLocked(id core.DeviceID) *DeviceInfo {
 	d, ok := n.devices[id]
 	if !ok {
 		d = &DeviceInfo{ID: id}
@@ -467,7 +467,7 @@ func (n *NM) handle(env msg.Envelope) {
 		var h msg.Hello
 		if env.Decode(&h) == nil {
 			n.mu.Lock()
-			n.deviceInfo(h.Device).Hello = true
+			n.deviceInfoLocked(h.Device).Hello = true
 			// A (re)booted device starts from clean state: both its cached
 			// observation and the potential graph are suspect.
 			n.bumpObsLocked(h.Device)
@@ -479,7 +479,7 @@ func (n *NM) handle(env msg.Envelope) {
 		var t msg.Topology
 		if env.Decode(&t) == nil {
 			n.mu.Lock()
-			d := n.deviceInfo(t.Device)
+			d := n.deviceInfoLocked(t.Device)
 			prev := d.Topology
 			d.Topology = t
 			if len(prev.Ports) == 0 || !topologyEqual(prev, t) {
@@ -502,7 +502,7 @@ func (n *NM) handle(env msg.Envelope) {
 		}
 		n.mu.Lock()
 		n.counters.RelayIn++
-		n.logf(conveyStream(c.FromModule, c.ToModule, c.Kind), "conveyMessage (%s -> %s, %s)", c.FromModule, c.ToModule, c.Kind)
+		n.logfLocked(conveyStream(c.FromModule, c.ToModule, c.Kind), "conveyMessage (%s -> %s, %s)", c.FromModule, c.ToModule, c.Kind)
 		ep := n.ep
 		n.mu.Unlock()
 		out := msg.MustNew(msg.TypeConvey, msg.NMName, string(c.ToModule.Device), env.ID, c)
@@ -522,7 +522,7 @@ func (n *NM) handle(env msg.Envelope) {
 		n.relaySeq++
 		rid := n.relaySeq
 		n.relays[rid] = relayOrigin{dev: env.From, id: env.ID}
-		n.logf("fields:"+req.Requester.String()+"~"+req.Target.String(),
+		n.logfLocked("fields:"+req.Requester.String()+"~"+req.Target.String(),
 			"listFieldsAndValues(%s) from %s", req.Target, req.Requester)
 		ep := n.ep
 		n.mu.Unlock()
@@ -566,7 +566,7 @@ func (n *NM) handle(env msg.Envelope) {
 		n.mu.Lock()
 		n.counters.NotifyRecv++
 		n.notifies = appendBounded(n.notifies, note)
-		n.logf("notify:"+note.Module.String(), "notify (%s: %s)", note.Module, note.Kind)
+		n.logfLocked("notify:"+note.Module.String(), "notify (%s: %s)", note.Module, note.Kind)
 		// A notify the NM's own reconcile deletes caused (e.g. the lower
 		// module reporting pipe-deleted) does not invalidate the cached
 		// observation — the reconcile already wrote the change through.
@@ -727,7 +727,7 @@ func (n *NM) ShowPotential(dev core.DeviceID) ([]core.Abstraction, error) {
 		return nil, err
 	}
 	n.mu.Lock()
-	n.deviceInfo(dev).Modules = body.Modules
+	n.deviceInfoLocked(dev).Modules = body.Modules
 	n.compileGen++
 	n.mu.Unlock()
 	return body.Modules, nil
@@ -751,7 +751,7 @@ func (n *NM) ShowActual(dev core.DeviceID) ([]core.ModuleState, error) {
 func (n *NM) ExecuteBatch(dev core.DeviceID, items []msg.CommandItem) (msg.CommandBatchResp, error) {
 	n.mu.Lock()
 	n.counters.CmdSent++
-	n.logf("cmd:"+string(dev), "command batch -> %s (%d items)", dev, len(items))
+	n.logfLocked("cmd:"+string(dev), "command batch -> %s (%d items)", dev, len(items))
 	n.mu.Unlock()
 	resp, err := n.call(msg.TypeCommandBatchReq, dev, msg.CommandBatchReq{Items: items})
 	if err != nil {

@@ -147,7 +147,7 @@ func (n *NM) Persist(b datastore.Backend) (int, error) {
 		if live[dsnap.ID] {
 			continue
 		}
-		d := n.deviceInfo(dsnap.ID)
+		d := n.deviceInfoLocked(dsnap.ID)
 		d.Hello = dsnap.Hello
 		d.Topology = dsnap.Topology
 		d.Modules = dsnap.Modules

@@ -1078,7 +1078,7 @@ func (n *NM) applyStoreLocked(plan *StorePlan) error {
 			return fmt.Errorf("nm: reconcile: %w", err)
 		}
 		for i, ds := range plan.Creates {
-			n.bindCreates(ds, resps[i], plan.createBinds[ds.Device])
+			n.bindCreatesLocked(ds, resps[i], plan.createBinds[ds.Device])
 		}
 	}
 
@@ -1163,7 +1163,7 @@ func (n *NM) applyStoreLocked(plan *StorePlan) error {
 // pending rule, or one embedding an exported handle the NM never saw),
 // falls back to invalidating the device so the next pass observes it
 // fresh.
-func (n *NM) bindCreates(ds DeviceScript, resp msg.CommandBatchResp, binds []bindTarget) {
+func (n *NM) bindCreatesLocked(ds DeviceScript, resp msg.CommandBatchResp, binds []bindTarget) {
 	ss := n.ss
 	ce := ss.cache[ds.Device]
 	du := ss.unions[ds.Device]

@@ -1,0 +1,73 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParseWiringRoundTrip pins the interchange contract on every
+// generator family: ParseWiring(Canonical(w)) rebuilds w exactly.
+func TestParseWiringRoundTrip(t *testing.T) {
+	gens := map[string]func() (*Wiring, error){
+		"fat-tree": func() (*Wiring, error) { return FatTree(4) },
+		"ring":     func() (*Wiring, error) { return Ring(8) },
+		"torus":    func() (*Wiring, error) { return Torus(3, 4) },
+		"waxman":   func() (*Wiring, error) { return Waxman(16, 0.4, 0.4, 7) },
+	}
+	for name, gen := range gens {
+		t.Run(name, func(t *testing.T) {
+			w, err := gen()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := ParseWiring(w.Canonical())
+			if err != nil {
+				t.Fatalf("reparsing canonical form: %v", err)
+			}
+			if !reflect.DeepEqual(w, got) {
+				t.Fatalf("round trip changed the wiring:\nwant %#v\ngot  %#v", w, got)
+			}
+			if got.Canonical() != w.Canonical() {
+				t.Fatalf("round trip changed the canonical form")
+			}
+		})
+	}
+}
+
+// FuzzWiringCanonical attacks the ParseWiring/Canonical round trip with
+// arbitrary input: anything ParseWiring accepts must re-render to a
+// canonical form that parses back to the identical Wiring.
+func FuzzWiringCanonical(f *testing.F) {
+	for _, gen := range []func() (*Wiring, error){
+		func() (*Wiring, error) { return FatTree(4) },
+		func() (*Wiring, error) { return Ring(5) },
+		func() (*Wiring, error) { return Torus(3, 3) },
+		func() (*Wiring, error) { return Waxman(8, 0.5, 0.5, 1) },
+	} {
+		w, err := gen()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(w.Canonical())
+	}
+	f.Add("topo   devices=0 wires=0\nedges\n")
+	f.Add("topo t p devices=1 wires=0\ndevice d ports=\nedges d\n")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		w1, err := ParseWiring(s)
+		if err != nil {
+			return // rejected input: nothing to round-trip
+		}
+		c1 := w1.Canonical()
+		w2, err := ParseWiring(c1)
+		if err != nil {
+			t.Fatalf("canonical form does not reparse: %v\n%q", err, c1)
+		}
+		if !reflect.DeepEqual(w1, w2) {
+			t.Fatalf("round trip changed the wiring\ninput %q\nfirst %#v\nsecond %#v", s, w1, w2)
+		}
+		if c2 := w2.Canonical(); c2 != c1 {
+			t.Fatalf("canonical form is not a fixed point\nfirst  %q\nsecond %q", c1, c2)
+		}
+	})
+}

@@ -1,0 +1,121 @@
+package topo
+
+import (
+	"fmt"
+	"strings"
+
+	"conman/internal/core"
+)
+
+// ParseWiring is the inverse of (*Wiring).Canonical: it rebuilds a
+// Wiring from its canonical rendering. Canonical(ParseWiring(s)) is
+// byte-identical to s for any s produced by Canonical, which gives
+// tests and tools a durable interchange format (dump a fabric, diff
+// it, reload it) and gives the fuzzer a round-trip property to attack.
+//
+// The grammar is exactly what Canonical emits, one record per line:
+//
+//	topo <family> <param> devices=<n> wires=<m>
+//	device <id> ports=<p1,p2,...>
+//	wire <name> <devA>:<portA> <devB>:<portB>
+//	edges [<id> ...]
+//
+// Wire endpoints must reference declared devices; the declared device
+// list disambiguates device ids that themselves contain ':'.
+func ParseWiring(s string) (*Wiring, error) {
+	if !strings.HasSuffix(s, "\n") {
+		return nil, fmt.Errorf("topo: parse: missing trailing newline")
+	}
+	lines := strings.Split(strings.TrimSuffix(s, "\n"), "\n")
+	if len(lines) < 2 {
+		return nil, fmt.Errorf("topo: parse: want at least topo and edges lines, got %d", len(lines))
+	}
+
+	w := &Wiring{}
+	var wantDevices, wantWires int
+
+	head := strings.Fields(lines[0])
+	if len(head) < 3 || head[0] != "topo" {
+		return nil, fmt.Errorf("topo: parse line 1: want %q header, got %q", "topo", lines[0])
+	}
+	last, prev := head[len(head)-1], head[len(head)-2]
+	if _, err := fmt.Sscanf(prev, "devices=%d", &wantDevices); err != nil {
+		return nil, fmt.Errorf("topo: parse line 1: bad %q: %v", prev, err)
+	}
+	if _, err := fmt.Sscanf(last, "wires=%d", &wantWires); err != nil {
+		return nil, fmt.Errorf("topo: parse line 1: bad %q: %v", last, err)
+	}
+	mid := head[1 : len(head)-2]
+	if len(mid) > 0 {
+		w.Family = mid[0]
+		w.Param = strings.Join(mid[1:], " ")
+	}
+
+	final := lines[len(lines)-1]
+	if final != "edges" && !strings.HasPrefix(final, "edges ") {
+		return nil, fmt.Errorf("topo: parse: last line must be the edges record, got %q", final)
+	}
+	for _, e := range strings.Fields(final)[1:] {
+		w.Edges = append(w.Edges, core.DeviceID(e))
+	}
+
+	for i, line := range lines[1 : len(lines)-1] {
+		lineNo := i + 2
+		switch {
+		case strings.HasPrefix(line, "device "):
+			f := strings.Fields(line)
+			if len(f) != 3 || !strings.HasPrefix(f[2], "ports=") {
+				return nil, fmt.Errorf("topo: parse line %d: want %q, got %q", lineNo, "device <id> ports=<list>", line)
+			}
+			d := Device{ID: core.DeviceID(f[1])}
+			if list := strings.TrimPrefix(f[2], "ports="); list != "" {
+				d.Ports = strings.Split(list, ",")
+			}
+			w.Devices = append(w.Devices, d)
+		case strings.HasPrefix(line, "wire "):
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				return nil, fmt.Errorf("topo: parse line %d: want %q, got %q", lineNo, "wire <name> <a> <b>", line)
+			}
+			a, err := w.parseEndpoint(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("topo: parse line %d: %v", lineNo, err)
+			}
+			b, err := w.parseEndpoint(f[3])
+			if err != nil {
+				return nil, fmt.Errorf("topo: parse line %d: %v", lineNo, err)
+			}
+			w.Wires = append(w.Wires, Wire{Name: f[1], A: a, B: b})
+		default:
+			return nil, fmt.Errorf("topo: parse line %d: unknown record %q", lineNo, line)
+		}
+	}
+
+	if len(w.Devices) != wantDevices {
+		return nil, fmt.Errorf("topo: parse: header says devices=%d, found %d", wantDevices, len(w.Devices))
+	}
+	if len(w.Wires) != wantWires {
+		return nil, fmt.Errorf("topo: parse: header says wires=%d, found %d", wantWires, len(w.Wires))
+	}
+	return w, nil
+}
+
+// parseEndpoint resolves "<dev>:<port>" against the devices declared so
+// far, preferring the longest declared id so ids containing ':' stay
+// unambiguous.
+func (w *Wiring) parseEndpoint(s string) (Port, error) {
+	best := -1
+	for i, d := range w.Devices {
+		id := string(d.ID)
+		if len(s) > len(id)+1 && strings.HasPrefix(s, id+":") {
+			if best < 0 || len(id) > len(string(w.Devices[best].ID)) {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return Port{}, fmt.Errorf("wire endpoint %q does not reference a declared device", s)
+	}
+	id := w.Devices[best].ID
+	return Port{Device: id, Port: s[len(id)+1:]}, nil
+}
