@@ -14,6 +14,11 @@
 // matching fresh row also fails: a silently dropped benchmark is a
 // coverage regression, not a pass.
 //
+// With -summary the same comparison renders as a GitHub-flavoured
+// markdown delta table on stdout (for $GITHUB_STEP_SUMMARY) and always
+// exits zero — the gate run stays the authority; the summary is a
+// report.
+//
 // When rows change legitimately (a new scenario, a new n), refresh the
 // baseline with:
 //
@@ -25,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 )
 
 // row mirrors the benchResult records `conman bench` emits.
@@ -43,49 +49,138 @@ func (r row) key() string {
 	return fmt.Sprintf("%s/%s/n=%d/%s", r.Benchmark, r.Scenario, r.N, r.Mode)
 }
 
-// compare returns human-readable report lines and the subset that are
-// failures. Baseline rows drive the comparison; fresh rows without a
-// baseline are reported as informational.
-func compare(baseline, current []row, maxRatio, minSeconds float64) (report, failures []string) {
+// verdict classifies one baseline/current row pair.
+type verdict int
+
+const (
+	vOK      verdict = iota
+	vFail            // regressed beyond the ratio gate
+	vMissing         // baseline row absent from current results
+	vNew             // current row with no baseline
+)
+
+// delta is the evaluated comparison of one row key.
+type delta struct {
+	key       string
+	v         verdict
+	base, cur row
+	// floored marks rows whose wall clock was under the -min-seconds
+	// floor (expanded-only comparison).
+	floored bool
+	reason  string // failure detail for vFail/vMissing
+}
+
+// evaluate applies the regression gates to every row, baseline-driven,
+// preserving baseline order; current-only rows append at the end.
+func evaluate(baseline, current []row, maxRatio, minSeconds float64) []delta {
 	cur := make(map[string]row, len(current))
 	for _, r := range current {
 		cur[r.key()] = r
 	}
 	seen := make(map[string]bool, len(baseline))
+	var out []delta
 	for _, base := range baseline {
 		key := base.key()
 		seen[key] = true
 		got, ok := cur[key]
-		if !ok {
-			f := fmt.Sprintf("FAIL %s: row missing from current results (coverage regression)", key)
-			report, failures = append(report, f), append(failures, f)
-			continue
-		}
+		d := delta{key: key, base: base, cur: got, floored: base.Seconds < minSeconds}
 		switch {
+		case !ok:
+			d.v = vMissing
+			d.reason = "row missing from current results (coverage regression)"
 		case base.Expanded > 0 && float64(got.Expanded) > maxRatio*float64(base.Expanded):
-			f := fmt.Sprintf("FAIL %s: expanded %d vs baseline %d (%.2fx > %.1fx)",
-				key, got.Expanded, base.Expanded, float64(got.Expanded)/float64(base.Expanded), maxRatio)
-			report, failures = append(report, f), append(failures, f)
+			d.v = vFail
+			d.reason = fmt.Sprintf("expanded %d vs baseline %d (%.2fx > %.1fx)",
+				got.Expanded, base.Expanded, float64(got.Expanded)/float64(base.Expanded), maxRatio)
 		case base.Seconds >= minSeconds && got.Seconds > maxRatio*base.Seconds:
-			f := fmt.Sprintf("FAIL %s: %.4fs vs baseline %.4fs (%.2fx > %.1fx)",
-				key, got.Seconds, base.Seconds, got.Seconds/base.Seconds, maxRatio)
-			report, failures = append(report, f), append(failures, f)
+			d.v = vFail
+			d.reason = fmt.Sprintf("%.4fs vs baseline %.4fs (%.2fx > %.1fx)",
+				got.Seconds, base.Seconds, got.Seconds/base.Seconds, maxRatio)
 		default:
-			note := ""
-			if base.Seconds < minSeconds {
-				note = " [wall-clock below floor, expanded-only]"
-			}
-			report = append(report, fmt.Sprintf("ok   %s: %.4fs vs %.4fs, expanded %d vs %d%s",
-				key, got.Seconds, base.Seconds, got.Expanded, base.Expanded, note))
+			d.v = vOK
 		}
+		out = append(out, d)
 	}
 	for _, r := range current {
 		if !seen[r.key()] {
+			out = append(out, delta{key: r.key(), v: vNew, cur: r})
+		}
+	}
+	return out
+}
+
+// renderText formats deltas as the gate's line-per-row report and
+// returns the failure lines separately.
+func renderText(deltas []delta) (report, failures []string) {
+	for _, d := range deltas {
+		switch d.v {
+		case vMissing, vFail:
+			f := fmt.Sprintf("FAIL %s: %s", d.key, d.reason)
+			report, failures = append(report, f), append(failures, f)
+		case vNew:
 			report = append(report, fmt.Sprintf("new  %s: %.4fs, expanded %d (no baseline — refresh BENCH_baseline.json)",
-				r.key(), r.Seconds, r.Expanded))
+				d.key, d.cur.Seconds, d.cur.Expanded))
+		default:
+			note := ""
+			if d.floored {
+				note = " [wall-clock below floor, expanded-only]"
+			}
+			report = append(report, fmt.Sprintf("ok   %s: %.4fs vs %.4fs, expanded %d vs %d%s",
+				d.key, d.cur.Seconds, d.base.Seconds, d.cur.Expanded, d.base.Expanded, note))
 		}
 	}
 	return report, failures
+}
+
+// compare runs the gate end to end: evaluate then render the text
+// report.
+func compare(baseline, current []row, maxRatio, minSeconds float64) (report, failures []string) {
+	return renderText(evaluate(baseline, current, maxRatio, minSeconds))
+}
+
+// renderSummary formats deltas as a GitHub-flavoured markdown table.
+func renderSummary(deltas []delta, maxRatio float64) string {
+	var b strings.Builder
+	fails := 0
+	for _, d := range deltas {
+		if d.v == vFail || d.v == vMissing {
+			fails++
+		}
+	}
+	fmt.Fprintf(&b, "### Benchmark delta vs baseline (gate: %.1fx)\n\n", maxRatio)
+	if fails > 0 {
+		fmt.Fprintf(&b, "**%d row(s) regressed.**\n\n", fails)
+	}
+	b.WriteString("| Row | Status | Baseline | Current | Ratio | Expanded (base → cur) |\n")
+	b.WriteString("|---|---|---:|---:|---:|---:|\n")
+	for _, d := range deltas {
+		status, baseS, curS, ratio, exp := "✅ ok", "—", "—", "—", "—"
+		switch d.v {
+		case vMissing:
+			status, baseS = "❌ missing", fmt.Sprintf("%.4fs", d.base.Seconds)
+		case vNew:
+			status, curS = "🆕 new", fmt.Sprintf("%.4fs", d.cur.Seconds)
+			if d.cur.Expanded > 0 {
+				exp = fmt.Sprintf("— → %d", d.cur.Expanded)
+			}
+		default:
+			if d.v == vFail {
+				status = "❌ fail"
+			} else if d.floored {
+				status = "✅ ok (floored)"
+			}
+			baseS = fmt.Sprintf("%.4fs", d.base.Seconds)
+			curS = fmt.Sprintf("%.4fs", d.cur.Seconds)
+			if d.base.Seconds > 0 {
+				ratio = fmt.Sprintf("%.2fx", d.cur.Seconds/d.base.Seconds)
+			}
+			if d.base.Expanded > 0 || d.cur.Expanded > 0 {
+				exp = fmt.Sprintf("%d → %d", d.base.Expanded, d.cur.Expanded)
+			}
+		}
+		fmt.Fprintf(&b, "| `%s` | %s | %s | %s | %s | %s |\n", d.key, status, baseS, curS, ratio, exp)
+	}
+	return b.String()
 }
 
 func load(path string) ([]row, error) {
@@ -105,6 +200,7 @@ func main() {
 	currentPath := flag.String("current", "BENCH_scale.json", "fresh benchmark results")
 	maxRatio := flag.Float64("max-ratio", 2.0, "failure threshold: current may not exceed baseline by more than this factor")
 	minSeconds := flag.Float64("min-seconds", 0.1, "skip wall-clock comparison for baseline rows faster than this")
+	summary := flag.Bool("summary", false, "emit a markdown delta table instead of the gate report and always exit zero")
 	flag.Parse()
 
 	baseline, err := load(*baselinePath)
@@ -117,7 +213,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchcompare: %v\n", err)
 		os.Exit(2)
 	}
-	report, failures := compare(baseline, current, *maxRatio, *minSeconds)
+	deltas := evaluate(baseline, current, *maxRatio, *minSeconds)
+	if *summary {
+		fmt.Print(renderSummary(deltas, *maxRatio))
+		return
+	}
+	report, failures := renderText(deltas)
 	for _, line := range report {
 		fmt.Println(line)
 	}

@@ -106,6 +106,32 @@ func TestCompareReportsNewRows(t *testing.T) {
 	}
 }
 
+// TestRenderSummaryMarkdown: the -summary mode renders every delta as a
+// markdown table row and flags regressions without hiding them.
+func TestRenderSummaryMarkdown(t *testing.T) {
+	base := baselineRows()
+	cur := append([]row(nil), base[:len(base)-1]...) // drop one row
+	cur[0].Seconds = base[0].Seconds * 3             // regress another
+	cur = append(cur, row{Benchmark: "Transport", Scenario: "lsa-burst", N: 512, Mode: "batched", Seconds: 0.06, Expanded: 8})
+	out := renderSummary(evaluate(base, cur, 2.0, 0.005), 2.0)
+	for _, want := range []string{
+		"### Benchmark delta vs baseline",
+		"**2 row(s) regressed.**",
+		"| Row | Status |",
+		"`LinearApply/GRE/n=64/sequential` | ❌ fail",
+		"❌ missing",
+		"`Transport/lsa-burst/n=512/batched` | 🆕 new",
+		"3.00x",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "\n|")-2 != len(base)+1 { // header+separator excluded; one new row added
+		t.Errorf("summary row count off:\n%s", out)
+	}
+}
+
 // TestLoadRoundTrip exercises the file loading against the JSON shape
 // `conman bench` writes.
 func TestLoadRoundTrip(t *testing.T) {

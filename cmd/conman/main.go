@@ -95,6 +95,12 @@ func main() {
 			os.Exit(1)
 		}
 		return
+	case "transport":
+		if err := runTransport(args); err != nil {
+			fmt.Fprintf(os.Stderr, "conman transport: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	cmds := os.Args[1:]
 	if len(cmds) == 1 && cmds[0] == "all" {
@@ -174,6 +180,17 @@ autonomous operation:
                               process serves /status and /metrics and
                               stays up after the episode so doctor can
                               inspect the healed state
+
+  transport [-n N] [-loss P] [-reorder P] [-dup P] [-jitter DUR]
+            [-seed S] [-flush DUR] [-addr HOST:PORT]
+                              configure a linear GRE+IGP chain of N
+                              routers over real UDP sockets with seeded
+                              loss/reorder/duplication/jitter injected
+                              below the transport's reliability layer,
+                              verify end-to-end delivery, and print the
+                              batching/retransmission accounting. With
+                              -addr the process stays up serving /status
+                              and /metrics (the CI transport-smoke tier)
 
 persistent store (offline, operates on -state-dir):
   store log -state-dir DIR    print the journal: every submit/update/
@@ -1100,6 +1117,13 @@ func runBench(args []string) error {
 	// IGP cold-start flooding on diverse graphs, unguided path search on
 	// a random fabric, and intent compilation at generator scale.
 	if err := benchTopoRows(&results, latency); err != nil {
+		return err
+	}
+	// Transport rows (ROADMAP item 5): the UDP management plane's cost
+	// clean vs under seeded 5% loss, and the datagram economics of
+	// batching an LSA-flood burst — with an in-bench ≥4x floor on the
+	// batching win, mirroring the StoreReconcile ratio gate above.
+	if err := benchTransportRows(&results); err != nil {
 		return err
 	}
 	data, err := json.MarshalIndent(results, "", "  ")

@@ -1,0 +1,114 @@
+package channel
+
+import "time"
+
+// This file holds the sliding-window bookkeeping of the UDP transport:
+// pure data structures, locked by their owning peer/endpoint, so the
+// retransmit and dedup logic is unit-testable without sockets.
+
+// outFrame is one sequenced data frame awaiting acknowledgement.
+type outFrame struct {
+	seq      uint64
+	envs     [][]byte // marshaled envelope JSON; re-framed with a fresh ack on retransmit
+	lastSent time.Time
+	attempts int // transmissions so far (1 = first send)
+}
+
+// due reports when the frame becomes eligible for (re)transmission:
+// exponential backoff doubles the base RTO per transmission, capped at
+// 16x, so a congested or slow receiver sees a thinning retry stream
+// instead of a fixed-rate storm.
+func (f *outFrame) due(rto time.Duration) time.Time {
+	shift := f.attempts - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > 4 {
+		shift = 4
+	}
+	return f.lastSent.Add(rto << shift)
+}
+
+// sendWindow tracks the sequenced frames in flight toward one peer.
+// Frames stay until the peer's cumulative ack covers them or the
+// retransmit budget runs out; the unacked slice is kept in ascending
+// seq order.
+type sendWindow struct {
+	nextSeq uint64
+	unacked []*outFrame
+}
+
+// next allocates the next frame sequence number (first frame is 1; 0 is
+// reserved for unsequenced ack-only frames).
+func (w *sendWindow) next() uint64 {
+	w.nextSeq++
+	return w.nextSeq
+}
+
+func (w *sendWindow) add(f *outFrame) { w.unacked = append(w.unacked, f) }
+
+func (w *sendWindow) inFlight() int { return len(w.unacked) }
+
+// ack retires every frame covered by the cumulative ack a and returns
+// how many were retired.
+func (w *sendWindow) ack(a uint64) int {
+	i := 0
+	for i < len(w.unacked) && w.unacked[i].seq <= a {
+		i++
+	}
+	if i > 0 {
+		w.unacked = w.unacked[i:]
+		if len(w.unacked) == 0 {
+			w.unacked = nil
+		}
+	}
+	return i
+}
+
+// nextDeadline reports the earliest instant any in-flight frame becomes
+// due for retransmission (backoff included).
+func (w *sendWindow) nextDeadline(rto time.Duration) (time.Time, bool) {
+	var earliest time.Time
+	for _, f := range w.unacked {
+		due := f.due(rto)
+		if earliest.IsZero() || due.Before(earliest) {
+			earliest = due
+		}
+	}
+	return earliest, !earliest.IsZero()
+}
+
+// maxRecvAhead bounds the out-of-order set per source; beyond it a frame
+// is dropped (not acked) and the sender retransmits once the cumulative
+// edge catches up. Far larger than any sane sender window.
+const maxRecvAhead = 4096
+
+// recvWindow dedups sequenced frames from one source: cum is the
+// highest contiguous seq received, ahead holds out-of-order arrivals.
+type recvWindow struct {
+	cum   uint64
+	ahead map[uint64]bool
+}
+
+// mark records seq and reports whether it was fresh (first delivery).
+func (w *recvWindow) mark(seq uint64) bool {
+	if seq <= w.cum || w.ahead[seq] {
+		return false
+	}
+	if seq == w.cum+1 {
+		w.cum++
+		for w.ahead[w.cum+1] {
+			w.cum++
+			delete(w.ahead, w.cum)
+		}
+		return true
+	}
+	if len(w.ahead) >= maxRecvAhead {
+		return false
+	}
+	if w.ahead == nil {
+		w.ahead = make(map[uint64]bool)
+	}
+	w.ahead[seq] = true
+	return true
+}

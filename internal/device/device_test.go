@@ -222,3 +222,76 @@ func TestErrorEnvelopeForBadBatch(t *testing.T) {
 		t.Fatal("empty command item accepted")
 	}
 }
+
+// TestRetransmittedBatchServedFromCache: a byte-identical duplicate of a
+// mutating request (the transport's retry path) must be answered from
+// the MA's reply cache — same successful response, no re-execution —
+// while a different request that happens to reuse the envelope ID must
+// execute normally.
+func TestRetransmittedBatchServedFromCache(t *testing.T) {
+	net := netsim.New()
+	hub := channel.NewHub()
+	var replies []msg.Envelope
+	nmEp := hub.Endpoint(msg.NMName)
+	nmEp.SetHandler(func(env msg.Envelope) {
+		replies = append(replies, env) // hub delivery is synchronous
+	})
+
+	d, err := device.New(net, "X", kernel.RoleRouter, "eth0", "eth1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e0 := modules.NewETH(d.MA, "a", false, "eth0")
+	e0.RegisterPhysical(d.MA, "eth0")
+	d.AddModule(e0)
+	ipm, err := modules.NewIP(d.MA, "g", "C1", map[string]netip.Prefix{
+		"eth0": netip.MustParsePrefix("192.168.0.2/24"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.AddModule(ipm)
+	d.MA.AttachChannel(hub.Endpoint("X"))
+
+	mkReq := func(pipe core.PipeID) msg.Envelope {
+		return msg.MustNew(msg.TypeCommandBatchReq, msg.NMName, "X", 77, msg.CommandBatchReq{
+			Items: []msg.CommandItem{{Pipe: &msg.CreatePipeItem{ID: pipe, Req: core.PipeRequest{
+				Upper: core.Ref(core.NameIPv4, "X", "g"),
+				Lower: core.Ref(core.NameETH, "X", "a"),
+			}}}},
+		})
+	}
+	req := mkReq("P5")
+	for i := 0; i < 2; i++ {
+		if err := nmEp.Send(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(replies) != 2 {
+		t.Fatalf("%d replies, want 2", len(replies))
+	}
+	for i, env := range replies {
+		var resp msg.CommandBatchResp
+		if env.Type != msg.TypeCommandBatchResp || env.Decode(&resp) != nil || !resp.OK() {
+			t.Fatalf("reply %d: %v", i, env)
+		}
+		if resp.Results[0].PipeID != "P5" {
+			t.Fatalf("reply %d: pipe %q", i, resp.Results[0].PipeID)
+		}
+	}
+	if string(replies[0].Body) != string(replies[1].Body) {
+		t.Fatalf("cached reply differs:\n%s\n%s", replies[0].Body, replies[1].Body)
+	}
+
+	// Same envelope ID, different content: must execute, not hit cache.
+	if err := nmEp.Send(mkReq("P6")); err != nil {
+		t.Fatal(err)
+	}
+	var resp msg.CommandBatchResp
+	if len(replies) != 3 || replies[2].Decode(&resp) != nil || !resp.OK() {
+		t.Fatalf("ID-colliding request not executed: %v", replies)
+	}
+	if resp.Results[0].PipeID != "P6" {
+		t.Fatalf("ID-colliding request served stale pipe %q", resp.Results[0].PipeID)
+	}
+}

@@ -2,6 +2,7 @@ package device
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
 	"time"
@@ -45,9 +46,30 @@ type MA struct {
 	triggers []trigger
 	trigSeq  int
 
+	// replies caches the reply sent for each completed request keyed
+	// (requester, envelope ID), and inflight marks requests still
+	// executing, so a retransmitted request (lossy channel, NM
+	// RetryInterval) is answered idempotently — resent from cache, or
+	// dropped while the first execution is still running — instead of
+	// re-executed. replyOrder evicts FIFO at maxReplyCache.
+	replies    map[string]msg.Envelope // guarded by mu
+	inflight   map[string]bool         // guarded by mu
+	replyOrder []string                // guarded by mu
+
 	// QueryTimeout bounds blocking listFieldsAndValues calls.
 	QueryTimeout time.Duration
+
+	// RetryInterval, when positive, retransmits an unanswered
+	// listFieldsAndValues request every interval until QueryTimeout —
+	// the device-side mirror of NM.RetryInterval. The NM re-relays the
+	// query (module reads are side-effect-free) and the waiter's
+	// buffered channel drops any duplicate response.
+	RetryInterval time.Duration
 }
+
+// maxReplyCache bounds the per-device reply cache; retransmits arrive
+// within a few RTOs, so even a small window of recent replies suffices.
+const maxReplyCache = 512
 
 // NewMA creates a management agent.
 func NewMA(dev core.DeviceID, kern *kernel.Kernel, portInfo func() []msg.PortReport) *MA {
@@ -58,6 +80,8 @@ func NewMA(dev core.DeviceID, kern *kernel.Kernel, portInfo func() []msg.PortRep
 		modules:      make(map[core.ModuleID]Module),
 		pipes:        make(map[core.PipeID]*Pipe),
 		waiters:      make(map[uint64]chan msg.Envelope),
+		replies:      make(map[string]msg.Envelope),
+		inflight:     make(map[string]bool),
 		QueryTimeout: 5 * time.Second,
 	}
 }
@@ -222,20 +246,31 @@ func (a *MA) QueryFields(requester, target core.ModuleRef, component string) (ma
 	if err := a.send(env); err != nil {
 		return nil, err
 	}
-	select {
-	case resp := <-ch:
-		if resp.Type == msg.TypeError {
-			var e msg.Error
-			_ = resp.Decode(&e)
-			return nil, fmt.Errorf("device[%s]: listFieldsAndValues(%s): %s", a.dev, target, e.Message)
+	deadline := time.After(a.QueryTimeout)
+	var retry <-chan time.Time
+	if a.RetryInterval > 0 {
+		ticker := time.NewTicker(a.RetryInterval)
+		defer ticker.Stop()
+		retry = ticker.C
+	}
+	for {
+		select {
+		case resp := <-ch:
+			if resp.Type == msg.TypeError {
+				var e msg.Error
+				_ = resp.Decode(&e)
+				return nil, fmt.Errorf("device[%s]: listFieldsAndValues(%s): %s", a.dev, target, e.Message)
+			}
+			var body msg.ListFieldsResp
+			if err := resp.Decode(&body); err != nil {
+				return nil, err
+			}
+			return body.Fields, nil
+		case <-retry:
+			_ = a.send(env)
+		case <-deadline:
+			return nil, fmt.Errorf("device[%s]: listFieldsAndValues(%s): timeout", a.dev, target)
 		}
-		var body msg.ListFieldsResp
-		if err := resp.Decode(&body); err != nil {
-			return nil, err
-		}
-		return body.Fields, nil
-	case <-time.After(a.QueryTimeout):
-		return nil, fmt.Errorf("device[%s]: listFieldsAndValues(%s): timeout", a.dev, target)
 	}
 }
 
@@ -296,7 +331,84 @@ func (a *MA) retryPending() {
 // ---------------------------------------------------------------------------
 // Channel handler
 
+// cacheableRequest reports whether env is a mutating request the dedup
+// cache should cover. Read-only requests (showPotential, showActual,
+// listFields, selfTest) are deliberately excluded: re-executing a read on
+// retransmit is harmless and returns fresher state, and caching them
+// would serve stale observations to a restarted NM whose envelope IDs
+// restart from 1. ID 0 marks fire-and-forget traffic (hello, topology,
+// notify, convey) whose delivery the transport already dedups at the
+// frame layer.
+func cacheableRequest(env msg.Envelope) bool {
+	if env.ID == 0 {
+		return false
+	}
+	switch env.Type {
+	case msg.TypeCommandBatchReq, msg.TypeCreatePipeReq, msg.TypeCreateSwitchReq,
+		msg.TypeCreateFilterReq, msg.TypeDeleteReq, msg.TypeInstallTriggerReq:
+		return true
+	}
+	return false
+}
+
+// replyKey identifies a request for dedup. The body hash keeps a
+// restarted requester's ID collisions from matching an old entry: only a
+// byte-identical retransmission of the same request hits the cache.
+func replyKey(req msg.Envelope) string {
+	h := fnv.New64a()
+	h.Write([]byte(req.Type))
+	h.Write([]byte{0})
+	h.Write(req.Body)
+	return fmt.Sprintf("%s#%d#%x", req.From, req.ID, h.Sum64())
+}
+
+// beginRequest consults the dedup cache: a completed duplicate yields the
+// cached reply to resend, an in-flight duplicate is dropped, and a fresh
+// request is marked in flight.
+func (a *MA) beginRequest(env msg.Envelope) (cached msg.Envelope, resend, drop bool) {
+	key := replyKey(env)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if r, ok := a.replies[key]; ok {
+		return r, true, false
+	}
+	if a.inflight[key] {
+		return msg.Envelope{}, false, true
+	}
+	a.inflight[key] = true
+	return msg.Envelope{}, false, false
+}
+
+// finishRequest records the reply for req and evicts the oldest cache
+// entry beyond maxReplyCache.
+func (a *MA) finishRequest(req, reply msg.Envelope) {
+	if !cacheableRequest(req) {
+		return
+	}
+	key := replyKey(req)
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	delete(a.inflight, key)
+	if _, dup := a.replies[key]; dup {
+		return
+	}
+	a.replies[key] = reply
+	a.replyOrder = append(a.replyOrder, key)
+	if len(a.replyOrder) > maxReplyCache {
+		delete(a.replies, a.replyOrder[0])
+		a.replyOrder = a.replyOrder[1:]
+	}
+}
+
 func (a *MA) handle(env msg.Envelope) {
+	if cacheableRequest(env) {
+		if cached, resend, drop := a.beginRequest(env); resend {
+			_ = a.send(cached)
+			return
+		} else if drop {
+			return
+		}
+	}
 	switch env.Type {
 	case msg.TypeShowPotentialReq:
 		mods := a.Modules()
@@ -474,13 +586,21 @@ func (a *MA) handle(env msg.Envelope) {
 func (a *MA) reply(req msg.Envelope, t msg.Type, body any) {
 	env, err := msg.New(t, string(a.dev), req.From, req.ID, body)
 	if err != nil {
+		// Unmarshalable reply body: clear the in-flight mark so a
+		// retransmit gets to retry rather than being dropped forever.
+		a.mu.Lock()
+		delete(a.inflight, replyKey(req))
+		a.mu.Unlock()
 		return
 	}
+	a.finishRequest(req, env)
 	_ = a.send(env)
 }
 
 func (a *MA) replyErr(req msg.Envelope, format string, args ...any) {
-	_ = a.send(msg.Errorf(req, string(a.dev), format, args...))
+	env := msg.Errorf(req, string(a.dev), format, args...)
+	a.finishRequest(req, env)
+	_ = a.send(env)
 }
 
 // ---------------------------------------------------------------------------

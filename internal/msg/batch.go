@@ -1,0 +1,160 @@
+package msg
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Batch is the framed multi-envelope datagram of the heavy-traffic UDP
+// transport: one datagram carries up to MaxBatchEnvelopes envelopes plus
+// the sender's sliding-window bookkeeping (frame sequence number and the
+// cumulative acknowledgement of the peer's frames). The frame layer —
+// not the envelopes — is what the transport retransmits and dedups, so
+// the encoding is deliberately minimal: a magic tag, the sender's
+// channel name, two uvarints, and length-prefixed envelope JSON.
+//
+// Wire layout:
+//
+//	"CMB1"                      4-byte magic
+//	uvarint len | src bytes     sender channel name
+//	uvarint seq                 frame sequence (0 = unsequenced ack-only)
+//	uvarint ack                 cumulative ack of the peer's frames
+//	uvarint count               number of envelopes
+//	count × (uvarint len | envelope JSON)
+type Batch struct {
+	Src       string
+	Seq       uint64 // 0 marks a pure ack frame: never retransmitted, never deduped
+	Ack       uint64 // highest contiguous peer frame seq received
+	Envelopes []Envelope
+}
+
+// batchMagic tags batch frames so stray datagrams (old single-envelope
+// senders, port scans) fail fast instead of half-decoding.
+const batchMagic = "CMB1"
+
+// MaxBatchEnvelopes bounds envelopes per frame: a decode limit against
+// hostile counts, far above what a 64KB datagram can carry in practice.
+const MaxBatchEnvelopes = 4096
+
+// maxBatchSrc bounds the sender-name field during decode.
+const maxBatchSrc = 256
+
+// ErrBadBatch is wrapped by every batch decode failure.
+var ErrBadBatch = errors.New("msg: bad batch frame")
+
+// EncodeBatch serialises the frame.
+func (b Batch) EncodeBatch() ([]byte, error) {
+	raw := make([][]byte, len(b.Envelopes))
+	for i, env := range b.Envelopes {
+		data, err := env.Marshal()
+		if err != nil {
+			return nil, err
+		}
+		raw[i] = data
+	}
+	return EncodeBatchRaw(b.Src, b.Seq, b.Ack, raw)
+}
+
+// EncodeBatchRaw serialises a frame from pre-marshaled envelope JSON, so
+// the transport can re-frame a retransmission (fresh cumulative ack)
+// without re-marshaling its envelopes.
+func EncodeBatchRaw(src string, seq, ack uint64, envs [][]byte) ([]byte, error) {
+	if len(src) > maxBatchSrc {
+		return nil, fmt.Errorf("msg: batch src %q too long", src)
+	}
+	if len(envs) > MaxBatchEnvelopes {
+		return nil, fmt.Errorf("msg: batch of %d envelopes exceeds %d", len(envs), MaxBatchEnvelopes)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(batchMagic)
+	putUvarint(&buf, uint64(len(src)))
+	buf.WriteString(src)
+	putUvarint(&buf, seq)
+	putUvarint(&buf, ack)
+	putUvarint(&buf, uint64(len(envs)))
+	for _, data := range envs {
+		putUvarint(&buf, uint64(len(data)))
+		buf.Write(data)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeBatch parses a frame, validating every length against the
+// remaining input and every envelope as JSON.
+func DecodeBatch(data []byte) (Batch, error) {
+	if len(data) < len(batchMagic) || string(data[:len(batchMagic)]) != batchMagic {
+		return Batch{}, fmt.Errorf("%w: missing magic", ErrBadBatch)
+	}
+	r := data[len(batchMagic):]
+	srcLen, r, err := getUvarint(r)
+	if err != nil {
+		return Batch{}, fmt.Errorf("%w: src length: %v", ErrBadBatch, err)
+	}
+	if srcLen > maxBatchSrc || srcLen > uint64(len(r)) {
+		return Batch{}, fmt.Errorf("%w: src length %d out of range", ErrBadBatch, srcLen)
+	}
+	src := string(r[:srcLen])
+	if strings.ContainsRune(src, 0) {
+		return Batch{}, fmt.Errorf("%w: src contains NUL", ErrBadBatch)
+	}
+	r = r[srcLen:]
+	seq, r, err := getUvarint(r)
+	if err != nil {
+		return Batch{}, fmt.Errorf("%w: seq: %v", ErrBadBatch, err)
+	}
+	ack, r, err := getUvarint(r)
+	if err != nil {
+		return Batch{}, fmt.Errorf("%w: ack: %v", ErrBadBatch, err)
+	}
+	count, r, err := getUvarint(r)
+	if err != nil {
+		return Batch{}, fmt.Errorf("%w: count: %v", ErrBadBatch, err)
+	}
+	if count > MaxBatchEnvelopes {
+		return Batch{}, fmt.Errorf("%w: %d envelopes exceeds %d", ErrBadBatch, count, MaxBatchEnvelopes)
+	}
+	b := Batch{Src: src, Seq: seq, Ack: ack}
+	for i := uint64(0); i < count; i++ {
+		n, rest, err := getUvarint(r)
+		if err != nil {
+			return Batch{}, fmt.Errorf("%w: envelope %d length: %v", ErrBadBatch, i, err)
+		}
+		if n > uint64(len(rest)) {
+			return Batch{}, fmt.Errorf("%w: envelope %d length %d exceeds remaining %d", ErrBadBatch, i, n, len(rest))
+		}
+		env, err := Unmarshal(rest[:n])
+		if err != nil {
+			return Batch{}, fmt.Errorf("%w: envelope %d: %v", ErrBadBatch, i, err)
+		}
+		b.Envelopes = append(b.Envelopes, env)
+		r = rest[n:]
+	}
+	if len(r) != 0 {
+		return Batch{}, fmt.Errorf("%w: %d trailing bytes", ErrBadBatch, len(r))
+	}
+	return b, nil
+}
+
+func putUvarint(buf *bytes.Buffer, v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], v)])
+}
+
+func getUvarint(data []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(data)
+	if n <= 0 {
+		return 0, nil, errors.New("truncated uvarint")
+	}
+	return v, data[n:], nil
+}
+
+// IsResponse reports whether t answers a pending request (a ".resp"
+// type or an error reply). The transport's handler pool dispatches
+// responses on their own goroutines — a response must never queue
+// behind the request that is blocked waiting for it.
+func (t Type) IsResponse() bool {
+	return t == TypeError || strings.HasSuffix(string(t), ".resp")
+}

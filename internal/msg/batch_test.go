@@ -1,0 +1,159 @@
+package msg
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func mkEnv(t *testing.T, typ Type, from, to string, id uint64, body any) Envelope {
+	t.Helper()
+	env, err := New(typ, from, to, id, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	in := Batch{
+		Src: "R1",
+		Seq: 7,
+		Ack: 42,
+		Envelopes: []Envelope{
+			mkEnv(t, TypeHello, "R1", NMName, 0, Hello{Device: "R1"}),
+			mkEnv(t, TypeCommandBatchReq, NMName, "R1", 9, CommandBatchReq{}),
+			mkEnv(t, TypeError, "R1", NMName, 9, Error{Message: "boom"}),
+		},
+	}
+	data, err := in.EncodeBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Src != in.Src || out.Seq != in.Seq || out.Ack != in.Ack {
+		t.Fatalf("header mismatch: got %q/%d/%d", out.Src, out.Seq, out.Ack)
+	}
+	if len(out.Envelopes) != len(in.Envelopes) {
+		t.Fatalf("got %d envelopes, want %d", len(out.Envelopes), len(in.Envelopes))
+	}
+	for i := range in.Envelopes {
+		if !reflect.DeepEqual(out.Envelopes[i], in.Envelopes[i]) {
+			t.Errorf("envelope %d: got %+v want %+v", i, out.Envelopes[i], in.Envelopes[i])
+		}
+	}
+}
+
+func TestBatchAckOnly(t *testing.T) {
+	in := Batch{Src: "nm", Seq: 0, Ack: 1234}
+	data, err := in.EncodeBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeBatch(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != 0 || out.Ack != 1234 || len(out.Envelopes) != 0 {
+		t.Fatalf("ack-only round trip: %+v", out)
+	}
+}
+
+func TestBatchDecodeRejects(t *testing.T) {
+	good, err := Batch{Src: "a", Seq: 1, Envelopes: []Envelope{
+		mkEnv(t, TypeHello, "a", NMName, 0, Hello{Device: "a"}),
+	}}.EncodeBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"bad magic":       []byte("NOPE" + string(good[4:])),
+		"truncated":       good[:len(good)-3],
+		"trailing":        append(append([]byte{}, good...), 'x'),
+		"old single json": []byte(`{"type":"hello","from":"a","to":"nm"}`),
+	}
+	for name, data := range cases {
+		if _, err := DecodeBatch(data); err == nil {
+			t.Errorf("%s: decode accepted invalid input", name)
+		}
+	}
+	// A count claiming more envelopes than the payload holds must fail,
+	// not over-read.
+	huge := Batch{Src: "a", Seq: 1}
+	data, _ := huge.EncodeBatch()
+	data[len(data)-1] = 0x20 // count=32 with no envelope bytes
+	if _, err := DecodeBatch(data); err == nil {
+		t.Error("oversized count accepted")
+	}
+}
+
+func TestIsResponse(t *testing.T) {
+	cases := []struct {
+		t    Type
+		want bool
+	}{
+		{TypeHello, false}, {TypeCommandBatchReq, false}, {TypeConvey, false},
+		{TypeCommandBatchResp, true}, {TypeListFieldsResp, true},
+		{TypeSelfTestResp, true}, {TypeError, true},
+	}
+	for _, c := range cases {
+		if got := c.t.IsResponse(); got != c.want {
+			t.Errorf("IsResponse(%s) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+// FuzzBatchDecode shakes the frame decoder with arbitrary bytes and
+// pins the canonical round trip: decoding must never panic or
+// over-read, and any frame that decodes must re-encode to a stable
+// fixed point (encode→decode→encode is byte-identical, since Marshal
+// compacts envelope JSON on the first encode).
+func FuzzBatchDecode(f *testing.F) {
+	seed := func(b Batch) {
+		data, err := b.EncodeBatch()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	env := MustNew(TypeHello, "R1", NMName, 0, Hello{Device: "R1"})
+	cmd := MustNew(TypeCommandBatchReq, NMName, "R1", 3, CommandBatchReq{
+		Items: []CommandItem{{Pipe: &CreatePipeItem{ID: "P0"}}},
+	})
+	seed(Batch{Src: "R1", Seq: 1, Ack: 0, Envelopes: []Envelope{env}})
+	seed(Batch{Src: "nm", Seq: 2, Ack: 7, Envelopes: []Envelope{cmd, env}})
+	seed(Batch{Src: "nm", Seq: 0, Ack: 99})
+	seed(Batch{Src: strings.Repeat("x", maxBatchSrc), Seq: 1 << 40, Ack: 1 << 50})
+	f.Add([]byte("CMB1"))
+	f.Add([]byte("CMB1\x01a\x00\x00\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		enc1, err := b.EncodeBatch()
+		if err != nil {
+			t.Fatalf("re-encode of decoded frame failed: %v", err)
+		}
+		b2, err := DecodeBatch(enc1)
+		if err != nil {
+			t.Fatalf("decode of re-encoded frame failed: %v", err)
+		}
+		enc2, err := b2.EncodeBatch()
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode not a fixed point:\n%q\n%q", enc1, enc2)
+		}
+		if b2.Src != b.Src || b2.Seq != b.Seq || b2.Ack != b.Ack || len(b2.Envelopes) != len(b.Envelopes) {
+			t.Fatalf("round trip changed header: %+v vs %+v", b, b2)
+		}
+	})
+}

@@ -3,6 +3,7 @@ package nm
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"conman/internal/core"
 	"conman/internal/msg"
@@ -410,16 +411,18 @@ func tradeoffGetName(key string) string {
 // Execute runs compiled device scripts, one batch per device (Table VI's
 // "commands to each router along the path").
 //
-// By default scripts are grouped into dependency waves: scripts on
-// distinct devices run concurrently within a wave, and a device that
-// appears more than once has its later scripts pushed into later waves,
-// so per-device batch order is preserved. Module peering stays correct
-// because the initiator rule keys on module references (device identity),
-// not on configuration arrival order, and every module defers work whose
-// parameters have not arrived yet (ErrPending / pending replies). The
-// message Counters are therefore byte-identical to sequential execution.
-// Setting n.Sequential restores the strict in-order execution of the
-// paper's accounting runs.
+// By default scripts are grouped into per-device chains that run
+// concurrently, each chain strictly in order: a device that appears more
+// than once has its later scripts follow its earlier ones, but no device
+// ever waits on another device's progress — the executor pipelines
+// instead of synchronising every chain on the slowest device at a wave
+// barrier. Module peering stays correct because the initiator rule keys
+// on module references (device identity), not on configuration arrival
+// order, and every module defers work whose parameters have not arrived
+// yet (ErrPending / pending replies). The message Counters are therefore
+// byte-identical to sequential execution. On the first batch failure the
+// other chains stop starting new batches. Setting n.Sequential restores
+// the strict in-order execution of the paper's accounting runs.
 func (n *NM) Execute(scripts []DeviceScript) error {
 	_, err := n.executeCollect(scripts)
 	return err
@@ -441,23 +444,49 @@ func (n *NM) executeCollect(scripts []DeviceScript) ([]msg.CommandBatchResp, err
 		}
 		return resps, nil
 	}
-	for _, wave := range executionWaves(scripts) {
-		wave := wave
-		if err := n.forEach(len(wave), func(i int) error {
-			r, err := n.runScript(&scripts[wave[i]])
-			resps[wave[i]] = r
-			return err
-		}); err != nil {
-			return resps, err
+	chains := executionChains(scripts)
+	var failed atomic.Bool
+	return resps, n.forEach(len(chains), func(c int) error {
+		for _, idx := range chains[c] {
+			if failed.Load() {
+				return nil
+			}
+			r, err := n.runScript(&scripts[idx])
+			resps[idx] = r
+			if err != nil {
+				failed.Store(true)
+				return err
+			}
 		}
+		return nil
+	})
+}
+
+// executionChains groups script indexes into per-device chains ordered by
+// each device's first appearance; within a chain the original script
+// order is preserved. With one script per device (the compiler's normal
+// output) every chain has length one.
+func executionChains(scripts []DeviceScript) [][]int {
+	chainOf := make(map[core.DeviceID]int, len(scripts))
+	var chains [][]int
+	for i := range scripts {
+		c, ok := chainOf[scripts[i].Device]
+		if !ok {
+			c = len(chains)
+			chains = append(chains, nil)
+			chainOf[scripts[i].Device] = c
+		}
+		chains[c] = append(chains[c], i)
 	}
-	return resps, nil
+	return chains
 }
 
 // executionWaves partitions script indexes into waves: each script lands
 // in the earliest wave after every earlier script for the same device.
 // With one script per device (the compiler's normal output) that is a
-// single wave.
+// single wave. The concurrent executor now pipelines via executionChains;
+// the wave view remains the lock-step grouping (and its invariants are
+// still tested) for the Sequential-adjacent analysis tooling.
 func executionWaves(scripts []DeviceScript) [][]int {
 	deviceWave := make(map[core.DeviceID]int, len(scripts))
 	var waves [][]int

@@ -59,6 +59,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"conman/internal/channel"
@@ -246,6 +247,18 @@ type NM struct {
 
 	// CallTimeout bounds request/response calls.
 	CallTimeout time.Duration
+
+	// RetryInterval, when positive, retransmits an unanswered request
+	// (same envelope, same ID) every interval until CallTimeout expires,
+	// letting calls converge over lossy management channels. Device
+	// agents dedup by (requester, envelope ID), so a retransmitted
+	// request is answered from the reply cache rather than re-executed.
+	// Zero (the default) keeps single-shot calls. Set before attaching a
+	// channel; it is read without locking.
+	RetryInterval time.Duration
+
+	// callRetries counts request retransmissions issued by call().
+	callRetries atomic.Uint64
 
 	// Sequential restores the strictly one-device-at-a-time behaviour
 	// for DiscoverAll and Execute (the paper's original accounting mode,
@@ -700,18 +713,36 @@ func (n *NM) call(t msg.Type, dev core.DeviceID, body any) (msg.Envelope, error)
 	if err := ep.Send(env); err != nil {
 		return msg.Envelope{}, err
 	}
-	select {
-	case resp := <-ch:
-		if resp.Type == msg.TypeError {
-			var e msg.Error
-			_ = resp.Decode(&e)
-			return msg.Envelope{}, fmt.Errorf("nm: %s on %s: %s", t, dev, e.Message)
+	deadline := time.After(n.CallTimeout)
+	var retry <-chan time.Time
+	if n.RetryInterval > 0 {
+		ticker := time.NewTicker(n.RetryInterval)
+		defer ticker.Stop()
+		retry = ticker.C
+	}
+	for {
+		select {
+		case resp := <-ch:
+			if resp.Type == msg.TypeError {
+				var e msg.Error
+				_ = resp.Decode(&e)
+				return msg.Envelope{}, fmt.Errorf("nm: %s on %s: %s", t, dev, e.Message)
+			}
+			return resp, nil
+		case <-retry:
+			// Best effort: a failed retransmit leaves the deadline in
+			// charge, exactly as a lost datagram would.
+			n.callRetries.Add(1)
+			_ = ep.Send(env)
+		case <-deadline:
+			return msg.Envelope{}, fmt.Errorf("nm: %s on %s: timeout", t, dev)
 		}
-		return resp, nil
-	case <-time.After(n.CallTimeout):
-		return msg.Envelope{}, fmt.Errorf("nm: %s on %s: timeout", t, dev)
 	}
 }
+
+// CallRetries reports how many request retransmissions call() has issued
+// (nonzero only with RetryInterval set and an unreliable channel).
+func (n *NM) CallRetries() uint64 { return n.callRetries.Load() }
 
 // ---------------------------------------------------------------------------
 // Primitives (Table I)

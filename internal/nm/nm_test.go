@@ -366,6 +366,29 @@ func TestExecutionWaves(t *testing.T) {
 	}
 }
 
+func TestExecutionChains(t *testing.T) {
+	ds := func(dev string) DeviceScript { return DeviceScript{Device: core.DeviceID(dev)} }
+	cases := []struct {
+		name    string
+		scripts []DeviceScript
+		want    [][]int
+	}{
+		{"empty", nil, nil},
+		{"distinct-devices", []DeviceScript{ds("A"), ds("B"), ds("C")}, [][]int{{0}, {1}, {2}}},
+		{"repeat-device", []DeviceScript{ds("A"), ds("B"), ds("A")}, [][]int{{0, 2}, {1}}},
+		{"interleaved", []DeviceScript{ds("A"), ds("B"), ds("A"), ds("B"), ds("A")},
+			[][]int{{0, 2, 4}, {1, 3}}},
+		{"late-first-appearance", []DeviceScript{ds("A"), ds("A"), ds("B")},
+			[][]int{{0, 1}, {2}}},
+	}
+	for _, c := range cases {
+		got := executionChains(c.scripts)
+		if fmt.Sprint(got) != fmt.Sprint(c.want) {
+			t.Errorf("%s: chains %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
 func TestForEachDeterministicError(t *testing.T) {
 	n := New()
 	n.Workers = 8

@@ -28,6 +28,19 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Get returns the current value.
 func (c *Counter) Get() uint64 { return c.v.Load() }
 
+// Gauge is a value that can move in both directions (queue depths,
+// window occupancy). Updated with Set; transports publish snapshots of
+// internal state through it.
+type Gauge struct {
+	v atomic.Uint64
+}
+
+// Set replaces the current value.
+func (g *Gauge) Set(v uint64) { g.v.Store(v) }
+
+// Get returns the current value.
+func (g *Gauge) Get() uint64 { return g.v.Load() }
+
 // DefaultLatencyBuckets suit management-plane latencies: 1ms to 10s.
 var DefaultLatencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
@@ -91,12 +104,13 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	return snap
 }
 
-// Metrics is an ordered registry of counters and histograms.
+// Metrics is an ordered registry of counters, gauges and histograms.
 type Metrics struct {
 	mu       sync.Mutex
 	order    []string
 	help     map[string]string
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 }
 
@@ -105,6 +119,7 @@ func NewMetrics() *Metrics {
 	return &Metrics{
 		help:     make(map[string]string),
 		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
 	}
 }
@@ -121,6 +136,20 @@ func (m *Metrics) Counter(name, help string) *Counter {
 	m.help[name] = help
 	m.order = append(m.order, name)
 	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (m *Metrics) Gauge(name, help string) *Gauge {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if g, ok := m.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	m.gauges[name] = g
+	m.help[name] = help
+	m.order = append(m.order, name)
+	return g
 }
 
 // Histogram returns (creating on first use) the named histogram.
@@ -148,11 +177,14 @@ func (m *Metrics) Snapshot() map[string]any {
 	for _, name := range names {
 		m.mu.Lock()
 		c, isC := m.counters[name]
+		g, isG := m.gauges[name]
 		h, isH := m.hists[name]
 		m.mu.Unlock()
 		switch {
 		case isC:
 			out[name] = c.Get()
+		case isG:
+			out[name] = g.Get()
 		case isH:
 			out[name] = h.Snapshot()
 		}
@@ -171,11 +203,14 @@ func (m *Metrics) RenderPrometheus() string {
 		m.mu.Lock()
 		help := m.help[name]
 		c, isC := m.counters[name]
+		g, isG := m.gauges[name]
 		h, isH := m.hists[name]
 		m.mu.Unlock()
 		switch {
 		case isC:
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, c.Get())
+		case isG:
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, g.Get())
 		case isH:
 			snap := h.Snapshot()
 			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)

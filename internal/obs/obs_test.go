@@ -51,6 +51,25 @@ func TestMetricsGetOrCreate(t *testing.T) {
 	}
 }
 
+func TestGauge(t *testing.T) {
+	m := NewMetrics()
+	g := m.Gauge("depth", "queue depth")
+	if g != m.Gauge("depth", "queue depth") {
+		t.Error("same name returned distinct gauges")
+	}
+	g.Set(7)
+	g.Set(4) // gauges move both ways
+	if got := m.Snapshot()["depth"]; got != uint64(4) {
+		t.Errorf("snapshot = %v, want 4", got)
+	}
+	out := m.RenderPrometheus()
+	for _, want := range []string{"# TYPE depth gauge", "depth 4"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRenderPrometheus(t *testing.T) {
 	m := NewMetrics()
 	m.Counter("runs_total", "passes").Add(2)
